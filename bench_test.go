@@ -1,0 +1,354 @@
+// Benchmarks: one per data figure of the paper (Figs. 2, 8–14) plus
+// ablation benches for the design choices called out in DESIGN.md. Each
+// figure bench executes a reduced-scale variant of the same code path the
+// full experiment uses (cmd/mvcom-bench runs the paper-sized version) and
+// reports the converged utility or headline metric via b.ReportMetric so
+// regressions in solution quality show up next to time/op.
+package mvcom_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mvcom"
+	"mvcom/internal/baseline"
+	"mvcom/internal/core"
+	"mvcom/internal/experiments"
+	"mvcom/internal/metrics"
+	"mvcom/internal/randx"
+)
+
+const benchScale = 0.05
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Scale: benchScale}
+}
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig02TwoPhaseLatency regenerates Fig. 2(a)+(b): the two-phase
+// latency measurement under the Elastico pipeline.
+func BenchmarkFig02TwoPhaseLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		resA, err := experiments.Run("2a", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Run("2b", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+		// Report the formation/consensus latency ratio (the Fig. 2a
+		// headline: formation dominates).
+		f := resA.Series[0].Y
+		c := resA.Series[1].Y
+		b.ReportMetric(f[len(f)-1]/c[len(c)-1], "formation/consensus")
+	}
+}
+
+// BenchmarkFig08ParallelThreads regenerates Fig. 8 (SE convergence vs Γ).
+func BenchmarkFig08ParallelThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("8", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Series[len(res.Series)-1].Y
+		b.ReportMetric(last[len(last)-1], "utility-gamma25")
+	}
+}
+
+// BenchmarkFig09Dynamics regenerates Fig. 9(a)+(b): dynamic leave/rejoin
+// and consecutive joins.
+func BenchmarkFig09Dynamics(b *testing.B) {
+	b.Run("a-leave-rejoin", func(b *testing.B) { runFigure(b, "9a") })
+	b.Run("b-consecutive-joins", func(b *testing.B) { runFigure(b, "9b") })
+}
+
+// BenchmarkFig10ValuableDegree regenerates Fig. 10 and reports SE's
+// valuable-degree lead over the best baseline.
+func BenchmarkFig10ValuableDegree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run("10", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vd := map[string]float64{}
+		for _, s := range res.Series {
+			vd[s.Label] = s.Y[0]
+		}
+		bestBaseline := math.Max(vd["SA"], math.Max(vd["DP"], vd["WOA"]))
+		b.ReportMetric(vd["SE"]/bestBaseline, "SE/best-baseline")
+	}
+}
+
+// BenchmarkFig11VaryCommittees regenerates Fig. 11 (|I| sweep, 4
+// algorithms).
+func BenchmarkFig11VaryCommittees(b *testing.B) { runFigure(b, "11") }
+
+// BenchmarkFig12VaryAlpha regenerates Fig. 12 (α sweep, 4 algorithms).
+func BenchmarkFig12VaryAlpha(b *testing.B) { runFigure(b, "12") }
+
+// BenchmarkFig13Distribution regenerates Fig. 13 (converged-utility
+// distributions over repeated runs).
+func BenchmarkFig13Distribution(b *testing.B) { runFigure(b, "13") }
+
+// BenchmarkFig14OnlineJoins regenerates Fig. 14 (online execution with
+// consecutive joins, α sweep).
+func BenchmarkFig14OnlineJoins(b *testing.B) { runFigure(b, "14") }
+
+// benchInstance builds the shared ablation instance.
+func benchInstance(b *testing.B, n int) mvcom.Instance {
+	b.Helper()
+	in, err := experiments.PaperInstance(1, n, n*800, 1.5, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkAblationBeta sweeps β: the Remark 2 tradeoff between optimality
+// loss and convergence speed. Reported metric: converged utility.
+func BenchmarkAblationBeta(b *testing.B) {
+	in := benchInstance(b, 40)
+	for _, beta := range []float64{0.5, 2, 8} {
+		b.Run(betaName(beta), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sol, _, err := core.NewSE(core.SEConfig{
+					Seed: 1, Beta: beta, MaxIters: 1200, ConvergenceWindow: 1200,
+				}).Solve(in.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = sol.Utility
+			}
+			b.ReportMetric(util, "utility")
+		})
+	}
+}
+
+func betaName(beta float64) string {
+	switch beta {
+	case 0.5:
+		return "beta=0.5"
+	case 2:
+		return "beta=2"
+	default:
+		return "beta=8"
+	}
+}
+
+// BenchmarkAblationSwapFeasibility compares Set-timer's
+// resample-until-feasible strategy (SwapRetries=8) against giving up after
+// the first infeasible proposal (SwapRetries=1).
+func BenchmarkAblationSwapFeasibility(b *testing.B) {
+	in := benchInstance(b, 40)
+	for _, retries := range []int{1, 8} {
+		name := "retries=1"
+		if retries == 8 {
+			name = "retries=8"
+		}
+		b.Run(name, func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sol, _, err := core.NewSE(core.SEConfig{
+					Seed: 1, SwapRetries: retries, MaxIters: 1200, ConvergenceWindow: 1200,
+				}).Solve(in.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = sol.Utility
+			}
+			b.ReportMetric(util, "utility")
+		})
+	}
+}
+
+// BenchmarkAblationGumbel compares the log-space Gumbel-max timer race
+// against naively sampling every exponential timer — the numerically
+// unstable alternative the implementation avoids (and which would
+// overflow outright at the paper's utility scale).
+func BenchmarkAblationGumbel(b *testing.B) {
+	const k = 500
+	rng := randx.New(1)
+	logRates := make([]float64, k)
+	for i := range logRates {
+		logRates[i] = rng.Uniform(-3, 3)
+	}
+	b.Run("gumbel-log-space", func(b *testing.B) {
+		r := randx.New(2)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.MinExponentialLog(logRates); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-exponentials", func(b *testing.B) {
+		r := randx.New(2)
+		for i := 0; i < b.N; i++ {
+			best, bestT := -1, math.Inf(1)
+			for j, lr := range logRates {
+				t := r.ExponentialRate(math.Exp(lr))
+				if t < bestT {
+					bestT = t
+					best = j
+				}
+			}
+			if best < 0 {
+				b.Fatal("no winner")
+			}
+		}
+	})
+}
+
+// BenchmarkSESolve measures the solver end-to-end at three instance sizes.
+func BenchmarkSESolve(b *testing.B) {
+	for _, n := range []int{50, 200, 500} {
+		in := benchInstance(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.NewSE(core.SEConfig{
+					Seed: 1, MaxIters: 300, ConvergenceWindow: 300,
+				}).Solve(in.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 50:
+		return "I=50"
+	case 200:
+		return "I=200"
+	default:
+		return "I=500"
+	}
+}
+
+// BenchmarkSEStep measures a single Markov transition round.
+func BenchmarkSEStep(b *testing.B) {
+	in := benchInstance(b, 200)
+	engine, err := core.NewEngine(in, core.SEConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Step()
+	}
+}
+
+// BenchmarkBaselines measures each comparison algorithm on the same
+// instance.
+func BenchmarkBaselines(b *testing.B) {
+	in := benchInstance(b, 100)
+	solvers := []core.Solver{
+		baseline.SA{Seed: 1, Iterations: 2000},
+		baseline.DP{},
+		baseline.WOA{Seed: 1, Iterations: 60},
+		baseline.Greedy{},
+	}
+	for _, s := range solvers {
+		s := s
+		b.Run(s.Name(), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sol, _, err := s.Solve(in.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = sol.Utility
+			}
+			b.ReportMetric(util, "utility")
+		})
+	}
+}
+
+// BenchmarkEpochPipeline measures one full five-stage epoch.
+func BenchmarkEpochPipeline(b *testing.B) {
+	p, err := mvcom.NewPipeline(mvcom.PipelineConfig{
+		Committees:    20,
+		CommitteeSize: 8,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := p.Trace().TotalTxs() / 3
+	sched := mvcom.SolverScheduler{Solver: baseline.Greedy{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.RunEpoch(sched, 1.5, capacity, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := metrics.Outcome(res.Epoch, &res.Instance, res.Solution)
+		b.ReportMetric(o.Throughput(), "tx/s")
+	}
+}
+
+// BenchmarkAblationThreadLattice compares the per-cardinality thread
+// lattice sizes: the full Alg. 1 thread set (one per cardinality) versus
+// capped lattices. Reported metric: converged utility at equal round
+// budget.
+func BenchmarkAblationThreadLattice(b *testing.B) {
+	in := benchInstance(b, 300)
+	for _, threads := range []int{8, 64, 1024} {
+		name := fmt.Sprintf("threads=%d", threads)
+		b.Run(name, func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sol, _, err := core.NewSE(core.SEConfig{
+					Seed: 1, MaxThreads: threads, MaxIters: 3000, ConvergenceWindow: 3000,
+				}).Solve(in.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = sol.Utility
+			}
+			b.ReportMetric(util, "utility")
+		})
+	}
+}
+
+// BenchmarkAblationRateNormalization compares the scale-invariant
+// temperature (default) against applying β to raw utilities (the literal
+// reading of equation (7), which is quasi-deterministic at trace scale).
+func BenchmarkAblationRateNormalization(b *testing.B) {
+	in := benchInstance(b, 100)
+	for _, disable := range []bool{false, true} {
+		name := "normalized"
+		if disable {
+			name = "raw-beta"
+		}
+		b.Run(name, func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				sol, _, err := core.NewSE(core.SEConfig{
+					Seed: 1, DisableRateNormalization: disable,
+					MaxIters: 2000, ConvergenceWindow: 2000,
+				}).Solve(in.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				util = sol.Utility
+			}
+			b.ReportMetric(util, "utility")
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestDemoMode(t *testing.T) {
+	args := []string{"-mode", "demo", "-workers", "2", "-shards", "16", "-capacity", "12000", "-timeout", "6s"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMode(t *testing.T) {
+	if err := run([]string{"-mode", "hybrid"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestWorkerModeDialFailure(t *testing.T) {
+	if err := run([]string{"-mode", "worker", "-connect", "127.0.0.1:1", "-id", "w"}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

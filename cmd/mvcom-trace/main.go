@@ -1,0 +1,113 @@
+// Command mvcom-trace generates and inspects the synthetic
+// blockchain-sharding transaction dataset (the stand-in for the paper's
+// Bitcoin Jan-2016 snapshot).
+//
+// Usage:
+//
+//	mvcom-trace -blocks 1378 -out trace.csv    # generate
+//	mvcom-trace -in trace.csv -shards 50       # inspect / shard statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mvcom/internal/randx"
+	"mvcom/internal/stats"
+	"mvcom/internal/txgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mvcom-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mvcom-trace", flag.ContinueOnError)
+	var (
+		blocks  = fs.Int("blocks", txgen.DefaultBlocks, "number of blocks to generate")
+		meanTxs = fs.Float64("mean-txs", txgen.DefaultMeanTxs, "mean TXs per block")
+		seed    = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "", "write generated trace CSV to this file (default stdout)")
+		in      = fs.String("in", "", "read an existing trace CSV instead of generating")
+		shards  = fs.Int("shards", 0, "if > 0, also print per-shard statistics for this many shards")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		tr  *txgen.Trace
+		err error
+	)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = txgen.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		return describe(tr, *shards, *seed)
+	}
+
+	tr = txgen.Generate(randx.New(*seed), txgen.Config{Blocks: *blocks, MeanTxs: *meanTxs})
+	if *out == "" {
+		if err = tr.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		return nil
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteCSV(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d blocks (%d TXs) to %s\n", len(tr.Blocks), tr.TotalTxs(), *out)
+	if *shards > 0 {
+		return describe(tr, *shards, *seed)
+	}
+	return nil
+}
+
+func describe(tr *txgen.Trace, shards int, seed int64) error {
+	txs := make([]float64, len(tr.Blocks))
+	for i, b := range tr.Blocks {
+		txs[i] = float64(b.Txs)
+	}
+	s, err := stats.Summarize(txs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blocks       %d\n", s.Count)
+	fmt.Printf("total TXs    %d\n", tr.TotalTxs())
+	fmt.Printf("TXs/block    mean=%.1f stddev=%.1f min=%.0f max=%.0f\n", s.Mean, s.Stddev, s.Min, s.Max)
+	if shards > 0 {
+		parts, err := tr.IntoShards(randx.New(seed), shards)
+		if err != nil {
+			return err
+		}
+		sizes := make([]float64, len(parts))
+		for i, p := range parts {
+			sizes[i] = float64(p.TxTotal)
+		}
+		ss, err := stats.Summarize(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards       %d\n", shards)
+		fmt.Printf("TXs/shard    mean=%.1f stddev=%.1f min=%.0f max=%.0f\n", ss.Mean, ss.Stddev, ss.Min, ss.Max)
+	}
+	return nil
+}

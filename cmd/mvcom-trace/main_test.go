@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-blocks", "40", "-out", path, "-shards", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/trace.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

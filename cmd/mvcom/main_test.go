@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"se", "sa", "dp", "woa", "greedy"} {
+		args := []string{"-shards", "16", "-capacity", "12000", "-iters", "400", "-algo", algo, "-v"}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunBruteOnTiny(t *testing.T) {
+	if err := run([]string{"-shards", "12", "-capacity", "9000", "-algo", "brute"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if err := run([]string{"-algo", "quantum"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-shards", "x"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-shards", "0"}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

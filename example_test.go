@@ -1,0 +1,102 @@
+package mvcom_test
+
+import (
+	"fmt"
+	"log"
+
+	"mvcom"
+	"mvcom/internal/txgen"
+)
+
+// The smallest end-to-end use of the library: schedule four committees
+// into a 4,000-TX final block.
+func ExampleNewScheduler() {
+	in := mvcom.Instance{
+		Sizes:     []int{1200, 900, 2100, 1500},
+		Latencies: []float64{812, 930, 1105, 988},
+		Alpha:     1.5,
+		Capacity:  4000,
+		Nmin:      2,
+	}
+	sched := mvcom.NewScheduler(mvcom.SchedulerConfig{Seed: 1})
+	sol, _, err := sched.Solve(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("permitted:", sol.Indices())
+	fmt.Println("TXs:", sol.Load)
+	// Output:
+	// permitted: [2 3]
+	// TXs: 3600
+}
+
+// Theory helpers evaluate the paper's bounds without running the chain.
+func ExampleOptimalityLossBound() {
+	loss, err := mvcom.OptimalityLossBound(2, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("approximation loss ≤ %.1f\n", loss)
+	// Output:
+	// approximation loss ≤ 173.3
+}
+
+// A committee failure mid-run is handled online; Theorem 2 bounds the
+// damage.
+func ExamplePerturbationBound() {
+	p := mvcom.PerturbationBound(51_057)
+	fmt.Printf("d_TV ≤ %.1f, utility perturbation ≤ %.0f\n", p.TVDistance, p.UtilityBound)
+	// Output:
+	// d_TV ≤ 0.5, utility perturbation ≤ 51057
+}
+
+// The five-stage Elastico pipeline: one epoch end to end, with the SE
+// scheduler making the final-consensus decision and a verified root
+// chain.
+func ExampleNewPipeline() {
+	p, err := mvcom.NewPipeline(mvcom.PipelineConfig{
+		Committees:    8,
+		CommitteeSize: 4,
+		Trace:         txgen.Config{Blocks: 32, MeanTxs: 500, MinTxs: 50, MaxTxs: 2000},
+		Seed:          4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := p.Trace().TotalTxs() / 2
+	res, err := p.RunEpoch(mvcom.SolverScheduler{
+		Solver: mvcom.NewScheduler(mvcom.SchedulerConfig{Seed: 4, MaxIters: 500}),
+	}, 1.5, capacity, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("height:", p.Chain().Height())
+	fmt.Println("verified:", p.Chain().Verify() == nil)
+	fmt.Println("capacity respected:", res.Solution.Load <= capacity)
+	// Output:
+	// height: 1
+	// verified: true
+	// capacity respected: true
+}
+
+// Online scheduling survives a committee failing mid-run.
+func ExampleScheduler_SolveOnline() {
+	in := mvcom.Instance{
+		Sizes:     []int{1200, 900, 2100, 1500, 800},
+		Latencies: []float64{812, 930, 1105, 988, 860},
+		Alpha:     1.5,
+		Capacity:  4000,
+		Nmin:      2,
+	}
+	events := []mvcom.Event{
+		{AtIteration: 50, Kind: mvcom.EventLeave, Index: 2}, // committee 2 fails
+	}
+	sched := mvcom.NewScheduler(mvcom.SchedulerConfig{Seed: 1, MaxIters: 500})
+	sol, _, err := sched.SolveOnline(in, events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committee 2 selected:", sol.Selected[2])
+	// Output:
+	// committee 2 selected: false
+}

@@ -1,0 +1,3 @@
+module mvcom
+
+go 1.22

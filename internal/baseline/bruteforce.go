@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"math"
+
+	"mvcom/internal/core"
+)
+
+// BruteForce enumerates every subset of the arrived shards and returns the
+// exact optimum. It refuses instances with more than MaxShards candidates
+// (2^25 subsets is the practical ceiling for tests).
+type BruteForce struct {
+	// MaxShards caps the enumeration; default 22.
+	MaxShards int
+}
+
+var _ core.Solver = BruteForce{}
+
+// Name implements core.Solver.
+func (BruteForce) Name() string { return "BruteForce" }
+
+// Solve implements core.Solver.
+func (b BruteForce) Solve(in core.Instance) (core.Solution, []core.TracePoint, error) {
+	pr, err := prepare(&in)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	limit := b.MaxShards
+	if limit <= 0 {
+		limit = 22
+	}
+	k := pr.k()
+	if k > limit {
+		return core.Solution{}, nil, ErrTooLarge
+	}
+	bestMask := -1
+	bestUtil := math.Inf(-1)
+	for mask := 0; mask < 1<<k; mask++ {
+		count, load := 0, 0
+		var util float64
+		for p := 0; p < k; p++ {
+			if mask>>p&1 == 1 {
+				count++
+				load += pr.size(p)
+				util += pr.value(p)
+			}
+		}
+		if count < in.Nmin || load > in.Capacity {
+			continue
+		}
+		if util > bestUtil {
+			bestUtil = util
+			bestMask = mask
+		}
+	}
+	if bestMask < 0 {
+		return core.Solution{}, nil, infeasible("bruteforce", &in)
+	}
+	sel := make([]bool, k)
+	for p := 0; p < k; p++ {
+		sel[p] = mask(bestMask, p)
+	}
+	sol := pr.solution(sel, 1<<k)
+	trace := []core.TracePoint{{Iteration: 1 << k, Utility: sol.Utility}}
+	return sol, trace, nil
+}
+
+func mask(m, p int) bool { return m>>p&1 == 1 }

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math"
+
+	"mvcom/internal/core"
+)
+
+// DP is the Dynamic Programming baseline [23,24]: the MVCom objective with
+// the Nmin constraint relaxed is a 0/1 knapsack (the paper's own
+// NP-hardness reduction), solved exactly by the classic weight-indexed
+// table. The final-block capacities of the evaluation (up to 10⁶ TXs) make
+// the exact table enormous, so weights and capacity are scaled by a
+// granularity g — the standard FPTAS-style rounding. Rounding loss plus
+// the bolted-on Nmin repair are why DP trails SE in the paper's figures.
+type DP struct {
+	// TableWidth is the scaled capacity (number of DP columns). The
+	// granularity is ceil(capacity / TableWidth). The default of 500
+	// bounds the table for the paper's million-TX capacities; the induced
+	// rounding loss is the price DP pays for tractability (and why it
+	// trails SE in the evaluation). Raise it toward Capacity for an exact
+	// solve on small instances.
+	TableWidth int
+}
+
+var _ core.Solver = DP{}
+
+// Name implements core.Solver.
+func (DP) Name() string { return "DP" }
+
+// Solve implements core.Solver.
+func (dp DP) Solve(in core.Instance) (core.Solution, []core.TracePoint, error) {
+	pr, err := prepare(&in)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	width := dp.TableWidth
+	if width <= 0 {
+		width = 500
+	}
+	gran := (in.Capacity + width - 1) / width
+	if gran < 1 {
+		gran = 1
+	}
+	capScaled := in.Capacity / gran
+	if capScaled < 1 {
+		capScaled = 1
+	}
+	k := pr.k()
+
+	// Only positive-value shards can improve an unconstrained knapsack.
+	type item struct {
+		pos    int
+		weight int // scaled, rounded up so scaled feasibility implies real feasibility
+		value  float64
+	}
+	var items []item
+	for p := 0; p < k; p++ {
+		v := pr.value(p)
+		if v <= 0 {
+			continue
+		}
+		w := (pr.size(p) + gran - 1) / gran
+		items = append(items, item{pos: p, weight: w, value: v})
+	}
+
+	// dp[c] = best value with scaled capacity c; take[i][c] records the
+	// choice for backtracking.
+	table := make([]float64, capScaled+1)
+	take := make([][]bool, len(items))
+	for i, it := range items {
+		take[i] = make([]bool, capScaled+1)
+		for c := capScaled; c >= it.weight; c-- {
+			cand := table[c-it.weight] + it.value
+			if cand > table[c] {
+				table[c] = cand
+				take[i][c] = true
+			}
+		}
+	}
+
+	sel := make([]bool, k)
+	c := capScaled
+	for i := len(items) - 1; i >= 0; i-- {
+		if take[i][c] {
+			sel[items[i].pos] = true
+			c -= items[i].weight
+		}
+	}
+	if !pr.ensureNmin(sel) {
+		return core.Solution{}, nil, infeasible("dp", &in)
+	}
+	// Rounding up weights guarantees the unscaled load fits, but the Nmin
+	// repair re-checked it anyway.
+	sol := pr.solution(sel, len(items)*(capScaled+1))
+	if math.IsInf(sol.Utility, 0) {
+		return core.Solution{}, nil, infeasible("dp", &in)
+	}
+	trace := []core.TracePoint{{Iteration: sol.Iterations, Utility: sol.Utility}}
+	return sol, trace, nil
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"sort"
+
+	"mvcom/internal/core"
+)
+
+// Greedy is a value-density heuristic: it admits arrived shards in
+// decreasing (α·s_i − age_i)/s_i order while the final block has room,
+// then pads to Nmin with the smallest leftovers. It is not one of the
+// paper's baselines but serves as a fast reference point and an ablation
+// anchor.
+type Greedy struct{}
+
+var _ core.Solver = Greedy{}
+
+// Name implements core.Solver.
+func (Greedy) Name() string { return "Greedy" }
+
+// Solve implements core.Solver.
+func (g Greedy) Solve(in core.Instance) (core.Solution, []core.TracePoint, error) {
+	pr, err := prepare(&in)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	order := make([]int, pr.k())
+	for p := range order {
+		order[p] = p
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := order[a], order[b]
+		da := pr.value(pa) / float64(maxInt(pr.size(pa), 1))
+		db := pr.value(pb) / float64(maxInt(pr.size(pb), 1))
+		if da != db {
+			return da > db
+		}
+		return pa < pb
+	})
+	sel := make([]bool, pr.k())
+	load := 0
+	for _, p := range order {
+		if pr.value(p) <= 0 {
+			break // remaining candidates only lower the utility
+		}
+		if load+pr.size(p) > in.Capacity {
+			continue
+		}
+		sel[p] = true
+		load += pr.size(p)
+	}
+	if !pr.ensureNmin(sel) {
+		return core.Solution{}, nil, infeasible("greedy", &in)
+	}
+	sol := pr.solution(sel, 1)
+	trace := []core.TracePoint{{Iteration: 1, Utility: sol.Utility}}
+	return sol, trace, nil
+}

@@ -1,0 +1,189 @@
+package baseline
+
+import (
+	"math"
+
+	"mvcom/internal/core"
+	"mvcom/internal/randx"
+)
+
+// SA is the Simulated Annealing baseline [22]: a single-solution
+// Metropolis walk over feasible selections with a geometric cooling
+// schedule. Neighbors either toggle one shard or swap a selected shard for
+// an unselected one; infeasible neighbors are rejected outright.
+type SA struct {
+	// Iterations is the annealing length. Default 20000.
+	Iterations int
+	// T0 is the initial temperature. If zero it is auto-scaled to the
+	// instance's mean |value| so acceptance starts permissive regardless
+	// of the utility magnitude.
+	T0 float64
+	// Cooling is the geometric decay factor per iteration. Default
+	// 0.9995.
+	Cooling float64
+	// Seed drives the randomness.
+	Seed int64
+}
+
+var _ core.Solver = SA{}
+
+// Name implements core.Solver.
+func (SA) Name() string { return "SA" }
+
+// Solve implements core.Solver.
+func (sa SA) Solve(in core.Instance) (core.Solution, []core.TracePoint, error) {
+	pr, err := prepare(&in)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	iters := sa.Iterations
+	if iters <= 0 {
+		iters = 20000
+	}
+	cooling := sa.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.9995
+	}
+	rng := randx.New(sa.Seed)
+
+	sel, ok := initialFeasible(pr, rng)
+	if !ok {
+		return core.Solution{}, nil, infeasible("sa", &in)
+	}
+	cur := pr.utility(sel)
+	load := pr.load(sel)
+	count := pr.count(sel)
+
+	temp := sa.T0
+	if temp <= 0 {
+		var absSum float64
+		for p := 0; p < pr.k(); p++ {
+			absSum += math.Abs(pr.value(p))
+		}
+		temp = absSum / float64(pr.k())
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+
+	best := append([]bool(nil), sel...)
+	bestUtil := cur
+	trace := []core.TracePoint{{Iteration: 0, Utility: bestUtil}}
+
+	for it := 1; it <= iters; it++ {
+		dU, apply := proposeNeighbor(pr, rng, sel, load, count)
+		if apply != nil {
+			accept := dU >= 0
+			if !accept {
+				accept = rng.Float64() < math.Exp(dU/temp)
+			}
+			if accept {
+				load, count = apply()
+				cur += dU
+				if cur > bestUtil {
+					bestUtil = cur
+					copy(best, sel)
+					trace = append(trace, core.TracePoint{Iteration: it, Utility: bestUtil})
+				}
+			}
+		}
+		temp *= cooling
+	}
+	sol := pr.solution(best, iters)
+	trace = append(trace, core.TracePoint{Iteration: iters, Utility: sol.Utility})
+	return sol, trace, nil
+}
+
+// proposeNeighbor picks a feasibility-preserving move and returns its ΔU
+// plus a closure that applies it (returning the new load and count). A nil
+// closure means no feasible move was found this iteration.
+func proposeNeighbor(pr prepared, rng *randx.RNG, sel []bool, load, count int) (float64, func() (int, int)) {
+	k := pr.k()
+	for attempt := 0; attempt < 8; attempt++ {
+		if rng.Bool(0.5) {
+			// Toggle one shard.
+			p := rng.Intn(k)
+			if sel[p] {
+				if count-1 < pr.in.Nmin {
+					continue
+				}
+				dU := -pr.value(p)
+				return dU, func() (int, int) {
+					sel[p] = false
+					return load - pr.size(p), count - 1
+				}
+			}
+			if load+pr.size(p) > pr.in.Capacity {
+				continue
+			}
+			dU := pr.value(p)
+			return dU, func() (int, int) {
+				sel[p] = true
+				return load + pr.size(p), count + 1
+			}
+		}
+		// Swap a selected for an unselected shard.
+		pOut, pIn := -1, -1
+		for a := 0; a < 4; a++ {
+			p := rng.Intn(k)
+			if sel[p] {
+				pOut = p
+				break
+			}
+		}
+		for a := 0; a < 4; a++ {
+			p := rng.Intn(k)
+			if !sel[p] {
+				pIn = p
+				break
+			}
+		}
+		if pOut < 0 || pIn < 0 {
+			continue
+		}
+		if load-pr.size(pOut)+pr.size(pIn) > pr.in.Capacity {
+			continue
+		}
+		dU := pr.value(pIn) - pr.value(pOut)
+		return dU, func() (int, int) {
+			sel[pOut] = false
+			sel[pIn] = true
+			return load - pr.size(pOut) + pr.size(pIn), count
+		}
+	}
+	return 0, nil
+}
+
+// initialFeasible draws random selections until one satisfies both
+// constraints, then falls back to the deterministic smallest-first repair.
+func initialFeasible(pr prepared, rng *randx.RNG) ([]bool, bool) {
+	k := pr.k()
+	n := pr.in.Nmin
+	if n < 1 {
+		n = 1
+	}
+	if n > k {
+		return nil, false
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		pick, err := rng.SampleWithoutReplacement(k, n)
+		if err != nil {
+			return nil, false
+		}
+		sel := make([]bool, k)
+		load := 0
+		for _, p := range pick {
+			sel[p] = true
+			load += pr.size(p)
+		}
+		if load <= pr.in.Capacity {
+			return sel, true
+		}
+	}
+	// Deterministic fallback: the Nmin smallest shards.
+	sel := make([]bool, k)
+	if pr.repairNmin(sel) {
+		return sel, true
+	}
+	return nil, false
+}

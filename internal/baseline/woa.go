@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"mvcom/internal/core"
+	"mvcom/internal/randx"
+)
+
+// WOA is the Whale Optimization Algorithm baseline [25,26]: a swarm of
+// whales moves through [0,1]^K continuous positions that binarize at 0.5.
+// Each iteration applies the standard encircling / bubble-net spiral /
+// random-search equations with the control parameter a decaying 2 → 0;
+// binarized positions are repaired to feasibility before fitness
+// evaluation. WOA was designed for continuous landscapes, which is why it
+// struggles on this combinatorial problem — matching its consistently
+// lowest converged utility in the paper's figures.
+type WOA struct {
+	// Whales is the population size. Default 30.
+	Whales int
+	// Iterations is the number of generations. Default 500.
+	Iterations int
+	// SpiralB is the logarithmic-spiral shape constant b. Default 1.
+	SpiralB float64
+	// Seed drives the randomness.
+	Seed int64
+}
+
+var _ core.Solver = WOA{}
+
+// Name implements core.Solver.
+func (WOA) Name() string { return "WOA" }
+
+// Solve implements core.Solver.
+func (w WOA) Solve(in core.Instance) (core.Solution, []core.TracePoint, error) {
+	pr, err := prepare(&in)
+	if err != nil {
+		return core.Solution{}, nil, err
+	}
+	pop := w.Whales
+	if pop <= 0 {
+		pop = 30
+	}
+	iters := w.Iterations
+	if iters <= 0 {
+		iters = 500
+	}
+	b := w.SpiralB
+	if b <= 0 {
+		b = 1
+	}
+	rng := randx.New(w.Seed)
+	k := pr.k()
+
+	positions := make([][]float64, pop)
+	for i := range positions {
+		positions[i] = make([]float64, k)
+		for d := range positions[i] {
+			positions[i][d] = rng.Float64()
+		}
+	}
+
+	bestPos := make([]float64, k)
+	bestUtil := math.Inf(-1)
+	var bestSel []bool
+	// Repair is deliberately blind: random drops to fit the capacity and
+	// random adds to reach Nmin. A value-aware repair would smuggle a
+	// greedy knapsack solver into the fitness function and mask the
+	// actual WOA search — the paper's WOA is a plain continuous
+	// metaheuristic binarized onto the problem, and behaves accordingly.
+	evaluate := func(pos []float64) (float64, []bool, bool) {
+		sel := binarize(pos)
+		if !repairRandom(pr, rng, sel) {
+			return math.Inf(-1), nil, false
+		}
+		return pr.utility(sel), sel, true
+	}
+	for i := range positions {
+		if u, sel, ok := evaluate(positions[i]); ok && u > bestUtil {
+			bestUtil = u
+			bestSel = sel
+			copy(bestPos, positions[i])
+		}
+	}
+	if bestSel == nil {
+		return core.Solution{}, nil, infeasible("woa", &in)
+	}
+	trace := []core.TracePoint{{Iteration: 0, Utility: bestUtil}}
+
+	scratch := make([]float64, k)
+	for t := 0; t < iters; t++ {
+		a := 2 * (1 - float64(t)/float64(iters)) // a: 2 → 0
+		for i := range positions {
+			pos := positions[i]
+			if rng.Bool(0.5) {
+				// Shrinking encircling or exploration.
+				A := 2*a*rng.Float64() - a
+				C := 2 * rng.Float64()
+				target := bestPos
+				if math.Abs(A) >= 1 {
+					// |A| ≥ 1: search toward a random whale.
+					target = positions[rng.Intn(pop)]
+				}
+				for d := 0; d < k; d++ {
+					dist := math.Abs(C*target[d] - pos[d])
+					scratch[d] = clamp01(target[d] - A*dist)
+				}
+			} else {
+				// Bubble-net spiral around the best whale.
+				l := rng.Uniform(-1, 1)
+				for d := 0; d < k; d++ {
+					dist := math.Abs(bestPos[d] - pos[d])
+					scratch[d] = clamp01(dist*math.Exp(b*l)*math.Cos(2*math.Pi*l) + bestPos[d])
+				}
+			}
+			copy(pos, scratch)
+			if u, sel, ok := evaluate(pos); ok && u > bestUtil {
+				bestUtil = u
+				bestSel = sel
+				copy(bestPos, pos)
+				trace = append(trace, core.TracePoint{Iteration: t + 1, Utility: bestUtil})
+			}
+		}
+	}
+	sol := pr.solution(bestSel, iters*pop)
+	trace = append(trace, core.TracePoint{Iteration: iters * pop, Utility: sol.Utility})
+	return sol, trace, nil
+}
+
+// repairRandom makes sel feasible without looking at shard values:
+// random selected shards are dropped until the capacity holds, then
+// random unselected shards that fit are added until Nmin holds. Returns
+// false when Nmin cannot be reached.
+func repairRandom(pr prepared, rng *randx.RNG, sel []bool) bool {
+	load := pr.load(sel)
+	var chosen []int
+	for p, on := range sel {
+		if on {
+			chosen = append(chosen, p)
+		}
+	}
+	rng.Shuffle(len(chosen), func(i, j int) { chosen[i], chosen[j] = chosen[j], chosen[i] })
+	for _, p := range chosen {
+		if load <= pr.in.Capacity {
+			break
+		}
+		sel[p] = false
+		load -= pr.size(p)
+	}
+	if load > pr.in.Capacity {
+		return false
+	}
+	count := pr.count(sel)
+	if count >= pr.in.Nmin {
+		return true
+	}
+	var free []int
+	for p, on := range sel {
+		if !on {
+			free = append(free, p)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	for _, p := range free {
+		if count >= pr.in.Nmin {
+			break
+		}
+		if load+pr.size(p) > pr.in.Capacity {
+			continue
+		}
+		sel[p] = true
+		load += pr.size(p)
+		count++
+	}
+	if count >= pr.in.Nmin {
+		return true
+	}
+	// Last resort for feasibility only (still value-blind): the Nmin
+	// smallest shards.
+	type cand struct{ pos, size int }
+	order := make([]cand, pr.k())
+	for p := range order {
+		order[p] = cand{pos: p, size: pr.size(p)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].size != order[j].size {
+			return order[i].size < order[j].size
+		}
+		return order[i].pos < order[j].pos
+	})
+	for p := range sel {
+		sel[p] = false
+	}
+	load = 0
+	for i := 0; i < pr.in.Nmin && i < len(order); i++ {
+		sel[order[i].pos] = true
+		load += order[i].size
+	}
+	return pr.count(sel) >= pr.in.Nmin && load <= pr.in.Capacity
+}
+
+func binarize(pos []float64) []bool {
+	sel := make([]bool, len(pos))
+	for i, v := range pos {
+		sel[i] = v > 0.5
+	}
+	return sel
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

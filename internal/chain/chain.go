@@ -1,0 +1,368 @@
+// Package chain implements the blockchain data structures of the sharded
+// ledger: transactions, shard blocks produced by member committees, the
+// final blocks assembled by the final committee, and the root chain they
+// extend. Hashing uses SHA-256 and shard contents are committed through a
+// Merkle root, so chain integrity is verifiable in tests and examples.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors reported by chain verification.
+var (
+	ErrEmptyShard    = errors.New("chain: shard has no transactions")
+	ErrBadParent     = errors.New("chain: parent hash mismatch")
+	ErrBadHeight     = errors.New("chain: non-contiguous height")
+	ErrBadMerkleRoot = errors.New("chain: merkle root mismatch")
+	ErrBadHash       = errors.New("chain: stored hash mismatch")
+)
+
+// Hash is a SHA-256 digest.
+type Hash [sha256.Size]byte
+
+// String renders the hash in hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short renders the first 8 hex characters, for logs.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// Transaction is one ledger entry. The scheduler never inspects payloads;
+// they exist so shard blocks have real, hashable content.
+type Transaction struct {
+	ID      uint64
+	From    uint64
+	To      uint64
+	Amount  uint64
+	Created time.Duration // virtual time at which the TX entered the pool
+}
+
+// Hash returns the transaction digest.
+func (tx Transaction) Hash() Hash {
+	var buf [40]byte
+	binary.BigEndian.PutUint64(buf[0:8], tx.ID)
+	binary.BigEndian.PutUint64(buf[8:16], tx.From)
+	binary.BigEndian.PutUint64(buf[16:24], tx.To)
+	binary.BigEndian.PutUint64(buf[24:32], tx.Amount)
+	binary.BigEndian.PutUint64(buf[32:40], uint64(tx.Created))
+	return sha256.Sum256(buf[:])
+}
+
+// ShardBlock is the block a member committee agrees on through its
+// intra-committee consensus: a disjoint set of transactions plus the
+// committee's identity and epoch.
+type ShardBlock struct {
+	Committee    int           // member-committee index
+	Epoch        int           // epoch number j
+	MerkleRoot   Hash          // commitment over Transactions
+	TxCount      int           // |Transactions| (s_i in the paper)
+	Latency      time.Duration // two-phase latency l_i
+	Transactions []Transaction
+}
+
+// NewShardBlock assembles a shard block, computing the Merkle root and TX
+// count. It returns ErrEmptyShard when txs is empty.
+func NewShardBlock(committee, epoch int, latency time.Duration, txs []Transaction) (*ShardBlock, error) {
+	if len(txs) == 0 {
+		return nil, ErrEmptyShard
+	}
+	b := &ShardBlock{
+		Committee:    committee,
+		Epoch:        epoch,
+		TxCount:      len(txs),
+		Latency:      latency,
+		Transactions: append([]Transaction(nil), txs...),
+	}
+	b.MerkleRoot = MerkleRoot(txHashes(txs))
+	return b, nil
+}
+
+// NewShardHeader assembles a header-only shard block: the final committee
+// verifies the committee's Merkle commitment and TX count without
+// materializing the transactions (how the epoch pipeline represents large
+// shards). The root must be non-zero and txCount positive.
+func NewShardHeader(committee, epoch int, latency time.Duration, root Hash, txCount int) (*ShardBlock, error) {
+	if txCount <= 0 || root.IsZero() {
+		return nil, ErrEmptyShard
+	}
+	return &ShardBlock{
+		Committee:  committee,
+		Epoch:      epoch,
+		MerkleRoot: root,
+		TxCount:    txCount,
+		Latency:    latency,
+	}, nil
+}
+
+// HeaderOnly reports whether the block carries only its commitment (no
+// materialized transactions).
+func (b *ShardBlock) HeaderOnly() bool {
+	return b.Transactions == nil && b.TxCount > 0
+}
+
+// Verify re-derives the Merkle root and TX count. Header-only blocks are
+// checked for a non-zero commitment and a positive TX count.
+func (b *ShardBlock) Verify() error {
+	if b.HeaderOnly() {
+		if b.MerkleRoot.IsZero() {
+			return ErrBadMerkleRoot
+		}
+		return nil
+	}
+	if len(b.Transactions) == 0 {
+		return ErrEmptyShard
+	}
+	if b.TxCount != len(b.Transactions) {
+		return fmt.Errorf("chain: tx count %d != %d transactions", b.TxCount, len(b.Transactions))
+	}
+	if got := MerkleRoot(txHashes(b.Transactions)); got != b.MerkleRoot {
+		return ErrBadMerkleRoot
+	}
+	return nil
+}
+
+// Hash returns the shard-block digest (header fields + Merkle root).
+func (b *ShardBlock) Hash() Hash {
+	var buf [8*3 + sha256.Size]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(b.Committee))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(b.Epoch))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(b.TxCount))
+	copy(buf[24:], b.MerkleRoot[:])
+	return sha256.Sum256(buf[:])
+}
+
+// FinalBlock is the global block the final committee appends to the root
+// chain in one epoch: the set of permitted shard blocks plus the epoch
+// randomness used to seed the next epoch's committee formation.
+type FinalBlock struct {
+	Height     int
+	Epoch      int
+	Parent     Hash
+	ShardRoots []Hash // hashes of the permitted shard blocks, in order
+	TxTotal    int    // Σ x_i s_i over permitted shards
+	Randomness Hash   // epoch randomness refresh (stage 5)
+	Timestamp  time.Duration
+	hash       Hash
+}
+
+// Hash returns the final-block digest, computing and caching it on first
+// use.
+func (fb *FinalBlock) Hash() Hash {
+	if fb.hash.IsZero() {
+		fb.hash = fb.computeHash()
+	}
+	return fb.hash
+}
+
+func (fb *FinalBlock) computeHash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(fb.Height))
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(fb.Epoch))
+	h.Write(buf[:])
+	h.Write(fb.Parent[:])
+	for _, r := range fb.ShardRoots {
+		h.Write(r[:])
+	}
+	binary.BigEndian.PutUint64(buf[:], uint64(fb.TxTotal))
+	h.Write(buf[:])
+	h.Write(fb.Randomness[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(fb.Timestamp))
+	h.Write(buf[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// RootChain is the global chain of final blocks.
+type RootChain struct {
+	blocks []*FinalBlock
+}
+
+// NewRootChain returns an empty root chain.
+func NewRootChain() *RootChain { return &RootChain{} }
+
+// Height returns the number of final blocks appended so far.
+func (c *RootChain) Height() int { return len(c.blocks) }
+
+// Tip returns the latest final block, or nil for an empty chain.
+func (c *RootChain) Tip() *FinalBlock {
+	if len(c.blocks) == 0 {
+		return nil
+	}
+	return c.blocks[len(c.blocks)-1]
+}
+
+// TipHash returns the hash of the latest block, or the zero hash for an
+// empty chain (the genesis parent).
+func (c *RootChain) TipHash() Hash {
+	if tip := c.Tip(); tip != nil {
+		return tip.Hash()
+	}
+	return Hash{}
+}
+
+// Block returns the final block at the given height, or nil if out of
+// range.
+func (c *RootChain) Block(height int) *FinalBlock {
+	if height < 0 || height >= len(c.blocks) {
+		return nil
+	}
+	return c.blocks[height]
+}
+
+// TotalTxs returns the total transactions committed across all final
+// blocks.
+func (c *RootChain) TotalTxs() int {
+	total := 0
+	for _, b := range c.blocks {
+		total += b.TxTotal
+	}
+	return total
+}
+
+// Append assembles a final block from the permitted shard blocks and
+// appends it to the chain. Shards are verified first; the epoch randomness
+// is derived from the shard roots and the parent hash (the paper's stage 5
+// randomness refresh). It returns the appended block.
+func (c *RootChain) Append(epoch int, at time.Duration, shards []*ShardBlock) (*FinalBlock, error) {
+	roots := make([]Hash, 0, len(shards))
+	total := 0
+	for _, s := range shards {
+		if err := s.Verify(); err != nil {
+			return nil, fmt.Errorf("shard from committee %d: %w", s.Committee, err)
+		}
+		roots = append(roots, s.Hash())
+		total += s.TxCount
+	}
+	fb := &FinalBlock{
+		Height:     len(c.blocks),
+		Epoch:      epoch,
+		Parent:     c.TipHash(),
+		ShardRoots: roots,
+		TxTotal:    total,
+		Timestamp:  at,
+	}
+	fb.Randomness = deriveRandomness(fb.Parent, roots, epoch)
+	c.blocks = append(c.blocks, fb)
+	return fb, nil
+}
+
+// Verify walks the chain checking parent links, heights, and stored
+// hashes.
+func (c *RootChain) Verify() error {
+	parent := Hash{}
+	for i, b := range c.blocks {
+		if b.Height != i {
+			return fmt.Errorf("block %d: %w", i, ErrBadHeight)
+		}
+		if b.Parent != parent {
+			return fmt.Errorf("block %d: %w", i, ErrBadParent)
+		}
+		if b.Hash() != b.computeHash() {
+			return fmt.Errorf("block %d: %w", i, ErrBadHash)
+		}
+		parent = b.Hash()
+	}
+	return nil
+}
+
+// deriveRandomness produces the stage-5 epoch randomness: a hash over the
+// parent link, the shard commitments, and the epoch number.
+func deriveRandomness(parent Hash, roots []Hash, epoch int) Hash {
+	h := sha256.New()
+	h.Write([]byte("mvcom/epoch-randomness"))
+	h.Write(parent[:])
+	for _, r := range roots {
+		h.Write(r[:])
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(epoch))
+	h.Write(buf[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleRoot computes the Merkle root over leaf hashes using the Bitcoin
+// convention: odd layers duplicate their last element. The root of an
+// empty leaf set is the zero hash; a single leaf is its own root.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	layer := append([]Hash(nil), leaves...)
+	for len(layer) > 1 {
+		if len(layer)%2 == 1 {
+			layer = append(layer, layer[len(layer)-1])
+		}
+		next := make([]Hash, 0, len(layer)/2)
+		for i := 0; i < len(layer); i += 2 {
+			next = append(next, hashPair(layer[i], layer[i+1]))
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// MerkleProof returns the sibling path proving that the leaf at index idx
+// is included under the root of the given leaves.
+func MerkleProof(leaves []Hash, idx int) ([]Hash, error) {
+	if idx < 0 || idx >= len(leaves) {
+		return nil, fmt.Errorf("chain: proof index %d out of range [0,%d)", idx, len(leaves))
+	}
+	var proof []Hash
+	layer := append([]Hash(nil), leaves...)
+	for len(layer) > 1 {
+		if len(layer)%2 == 1 {
+			layer = append(layer, layer[len(layer)-1])
+		}
+		sib := idx ^ 1
+		proof = append(proof, layer[sib])
+		next := make([]Hash, 0, len(layer)/2)
+		for i := 0; i < len(layer); i += 2 {
+			next = append(next, hashPair(layer[i], layer[i+1]))
+		}
+		layer = next
+		idx /= 2
+	}
+	return proof, nil
+}
+
+// VerifyMerkleProof checks a proof produced by MerkleProof.
+func VerifyMerkleProof(leaf Hash, idx int, proof []Hash, root Hash) bool {
+	cur := leaf
+	for _, sib := range proof {
+		if idx%2 == 0 {
+			cur = hashPair(cur, sib)
+		} else {
+			cur = hashPair(sib, cur)
+		}
+		idx /= 2
+	}
+	return cur == root
+}
+
+func hashPair(a, b Hash) Hash {
+	var buf [2 * sha256.Size]byte
+	copy(buf[:sha256.Size], a[:])
+	copy(buf[sha256.Size:], b[:])
+	return sha256.Sum256(buf[:])
+}
+
+func txHashes(txs []Transaction) []Hash {
+	hs := make([]Hash, len(txs))
+	for i, tx := range txs {
+		hs[i] = tx.Hash()
+	}
+	return hs
+}

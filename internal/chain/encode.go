@@ -1,0 +1,110 @@
+package chain
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Encoding errors.
+var (
+	ErrBadEncoding = errors.New("chain: malformed encoding")
+)
+
+// hashJSON is the wire form of a Hash (hex string).
+func (h Hash) MarshalText() ([]byte, error) {
+	return []byte(hex.EncodeToString(h[:])), nil
+}
+
+// UnmarshalText parses the hex wire form of a Hash.
+func (h *Hash) UnmarshalText(b []byte) error {
+	raw, err := hex.DecodeString(string(b))
+	if err != nil {
+		return fmt.Errorf("%w: hash %q", ErrBadEncoding, b)
+	}
+	if len(raw) != len(h) {
+		return fmt.Errorf("%w: hash length %d", ErrBadEncoding, len(raw))
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// finalBlockJSON is the serialized form of a FinalBlock.
+type finalBlockJSON struct {
+	Height     int    `json:"height"`
+	Epoch      int    `json:"epoch"`
+	Parent     Hash   `json:"parent"`
+	ShardRoots []Hash `json:"shardRoots"`
+	TxTotal    int    `json:"txTotal"`
+	Randomness Hash   `json:"randomness"`
+	// TimestampNs carries the virtual time in nanoseconds.
+	TimestampNs int64 `json:"timestampNs"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (fb *FinalBlock) MarshalJSON() ([]byte, error) {
+	return json.Marshal(finalBlockJSON{
+		Height:      fb.Height,
+		Epoch:       fb.Epoch,
+		Parent:      fb.Parent,
+		ShardRoots:  fb.ShardRoots,
+		TxTotal:     fb.TxTotal,
+		Randomness:  fb.Randomness,
+		TimestampNs: int64(fb.Timestamp),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (fb *FinalBlock) UnmarshalJSON(b []byte) error {
+	var w finalBlockJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	fb.Height = w.Height
+	fb.Epoch = w.Epoch
+	fb.Parent = w.Parent
+	fb.ShardRoots = w.ShardRoots
+	fb.TxTotal = w.TxTotal
+	fb.Randomness = w.Randomness
+	fb.Timestamp = time.Duration(w.TimestampNs)
+	fb.hash = Hash{} // recompute lazily
+	return nil
+}
+
+// WriteJSON serializes the chain as newline-delimited JSON, one final
+// block per line — append-friendly and stream-parsable.
+func (c *RootChain) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, b := range c.blocks {
+		if err := enc.Encode(b); err != nil {
+			return fmt.Errorf("chain: encode block %d: %w", b.Height, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a chain written by WriteJSON and verifies its
+// integrity (parent links, heights, hashes) before returning it.
+func ReadJSON(r io.Reader) (*RootChain, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	c := NewRootChain()
+	for {
+		var fb FinalBlock
+		if err := dec.Decode(&fb); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("chain: decode: %w", err)
+		}
+		c.blocks = append(c.blocks, &fb)
+	}
+	if err := c.Verify(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,133 @@
+package chain
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildChain(t *testing.T, epochs int) *RootChain {
+	t.Helper()
+	c := NewRootChain()
+	for e := 1; e <= epochs; e++ {
+		s1, err := NewShardBlock(0, e, 800*time.Second, makeTxs(3, uint64(e*10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := NewShardHeader(1, e, 900*time.Second, Transaction{ID: uint64(e)}.Hash(), 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Append(e, time.Duration(e)*time.Hour, []*ShardBlock{s1, s2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	c := buildChain(t, 5)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Height() != c.Height() {
+		t.Fatalf("height %d, want %d", got.Height(), c.Height())
+	}
+	if got.TipHash() != c.TipHash() {
+		t.Fatal("tip hash changed across serialization")
+	}
+	if got.TotalTxs() != c.TotalTxs() {
+		t.Fatalf("total txs %d, want %d", got.TotalTxs(), c.TotalTxs())
+	}
+	for h := 0; h < c.Height(); h++ {
+		a, b := c.Block(h), got.Block(h)
+		if a.Hash() != b.Hash() || a.Randomness != b.Randomness || a.Timestamp != b.Timestamp {
+			t.Fatalf("block %d mismatch", h)
+		}
+	}
+}
+
+func TestReadJSONRejectsTamper(t *testing.T) {
+	c := buildChain(t, 3)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one TxTotal: the parent hash chain breaks.
+	tampered := strings.Replace(buf.String(), `"txTotal":253`, `"txTotal":999`, 1)
+	if tampered == buf.String() {
+		t.Fatalf("tamper target not found in %q", buf.String()[:120])
+	}
+	if _, err := ReadJSON(strings.NewReader(tampered)); err == nil {
+		t.Fatal("tampered chain accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONEmpty(t *testing.T) {
+	c, err := ReadJSON(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Height() != 0 {
+		t.Fatalf("height %d", c.Height())
+	}
+}
+
+func TestHashTextRoundTrip(t *testing.T) {
+	h := Transaction{ID: 77}.Hash()
+	txt, err := h.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hash
+	if err := back.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("hash text round trip failed")
+	}
+	if err := back.UnmarshalText([]byte("zz")); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if err := back.UnmarshalText([]byte("abcd")); err == nil {
+		t.Fatal("short hash accepted")
+	}
+}
+
+func TestHeaderOnlyShardBlock(t *testing.T) {
+	sb, err := NewShardHeader(2, 1, time.Second, Transaction{ID: 1}.Hash(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sb.HeaderOnly() {
+		t.Fatal("not header-only")
+	}
+	if err := sb.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardHeader(2, 1, 0, Hash{}, 100); err == nil {
+		t.Fatal("zero root accepted")
+	}
+	if _, err := NewShardHeader(2, 1, 0, Transaction{ID: 1}.Hash(), 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	full, err := NewShardBlock(0, 1, 0, makeTxs(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.HeaderOnly() {
+		t.Fatal("full block claims header-only")
+	}
+}

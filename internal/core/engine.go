@@ -1,0 +1,90 @@
+package core
+
+// Engine is the stepping interface to the SE Markov chain. Where Solve
+// runs the chain to convergence in one call, an Engine advances one
+// transition round at a time, so callers can interleave exploration with
+// external coordination — the distributed runtime drives one Engine per
+// worker machine and exchanges only best-utility reports and dynamic
+// events, exactly the "limited state information" execution model of
+// Section IV-D.
+type Engine struct {
+	r       *run
+	trivial *Solution
+	iter    int
+}
+
+// NewEngine validates the instance and prepares the chain. If the
+// bootstrap condition of Alg. 1 line 1 is not met (everything fits the
+// final block), the engine is born converged with the trivial all-arrived
+// solution.
+func NewEngine(in Instance, cfg SEConfig) (*Engine, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r, err := newRun(&in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{r: r}
+	if sol, done := r.trivial(); done {
+		e.trivial = &sol
+	}
+	return e, nil
+}
+
+// Converged reports whether the engine was born converged (trivial case).
+func (e *Engine) Converged() bool { return e.trivial != nil }
+
+// Step advances every explorer by one transition round and reports whether
+// the global best improved. Stepping a trivially converged engine is a
+// no-op returning false.
+func (e *Engine) Step() bool {
+	if e.trivial != nil {
+		return false
+	}
+	e.iter++
+	e.r.iterations = e.iter
+	improved := false
+	for _, ex := range e.r.explorers {
+		if ex.step() {
+			improved = true
+		}
+	}
+	return improved
+}
+
+// Iterations returns how many rounds have been stepped.
+func (e *Engine) Iterations() int { return e.iter }
+
+// BestUtility returns the best utility observed so far (the trivial
+// solution's utility when born converged; -Inf before any feasible
+// solution exists).
+func (e *Engine) BestUtility() float64 {
+	if e.trivial != nil {
+		return e.trivial.Utility
+	}
+	return e.r.bestObserved()
+}
+
+// Best returns the best feasible solution found so far.
+func (e *Engine) Best() (Solution, error) {
+	if e.trivial != nil {
+		return *e.trivial, nil
+	}
+	return e.r.best()
+}
+
+// ApplyEvent injects a dynamic join/leave event into the running chain.
+func (e *Engine) ApplyEvent(ev Event) error {
+	if e.trivial != nil {
+		// The candidate set changed: the trivial shortcut no longer
+		// holds; fall back to the live chain.
+		e.trivial = nil
+	}
+	return e.r.applyEvent(ev)
+}
+
+// Instance returns a snapshot of the engine's current instance (including
+// shards added by join events).
+func (e *Engine) Instance() Instance { return e.r.in.Clone() }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ShardDecision explains one shard's scheduling outcome.
+type ShardDecision struct {
+	Shard    int
+	Size     int
+	Latency  float64
+	Age      float64
+	Value    float64
+	Selected bool
+	// Straggler marks shards that missed the deadline entirely.
+	Straggler bool
+}
+
+// Explain breaks a solution down per shard, sorted by descending value —
+// the view an operator wants when asking "why was committee 7 refused?".
+func Explain(in *Instance, sol Solution) []ShardDecision {
+	out := make([]ShardDecision, 0, in.NumShards())
+	for i := 0; i < in.NumShards(); i++ {
+		d := ShardDecision{
+			Shard:     i,
+			Size:      in.Sizes[i],
+			Latency:   in.Latencies[i],
+			Age:       in.Age(i),
+			Value:     in.Value(i),
+			Straggler: in.Latencies[i] > in.DDL,
+		}
+		if i < len(sol.Selected) {
+			d.Selected = sol.Selected[i]
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Value != out[b].Value {
+			return out[a].Value > out[b].Value
+		}
+		return out[a].Shard < out[b].Shard
+	})
+	return out
+}
+
+// WriteExplanation renders the per-shard breakdown as an aligned table.
+func WriteExplanation(w io.Writer, in *Instance, sol Solution) error {
+	if _, err := fmt.Fprintf(w, "%-6s %-8s %-10s %-10s %-12s %s\n",
+		"shard", "txs", "latency", "age", "value", "decision"); err != nil {
+		return err
+	}
+	for _, d := range Explain(in, sol) {
+		decision := "refused"
+		switch {
+		case d.Selected:
+			decision = "PERMITTED"
+		case d.Straggler:
+			decision = "straggler (missed deadline)"
+		}
+		if _, err := fmt.Fprintf(w, "%-6d %-8d %-10.1f %-10.1f %-12.1f %s\n",
+			d.Shard, d.Size, d.Latency, d.Age, d.Value, decision); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d shards permitted, %d TXs, utility %.1f\n",
+		sol.Count, sol.Load, sol.Utility)
+	return err
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mvcom/internal/randx"
+)
+
+// testInstance builds a random valid instance for tests: n shards, shard
+// sizes ~U[500,3000], latencies ~U[600,1300] s, with capacity a fraction
+// of the total size.
+func testInstance(seed int64, n int, alpha float64, capFrac float64, nmin int) Instance {
+	rng := randx.New(seed)
+	in := Instance{
+		Sizes:     make([]int, n),
+		Latencies: make([]float64, n),
+		Alpha:     alpha,
+		Nmin:      nmin,
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		in.Sizes[i] = 500 + rng.Intn(2501)
+		in.Latencies[i] = rng.Uniform(600, 1300)
+		total += in.Sizes[i]
+	}
+	in.Capacity = int(capFrac * float64(total))
+	if in.Capacity < 1 {
+		in.Capacity = 1
+	}
+	return in
+}
+
+func TestValidateOK(t *testing.T) {
+	in := testInstance(1, 10, 1.5, 0.5, 2)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.DDL != in.MaxLatency() {
+		t.Fatalf("default DDL %v, want max latency %v", in.DDL, in.MaxLatency())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give Instance
+		want error
+	}{
+		{name: "no shards", give: Instance{Alpha: 1, Capacity: 1}, want: ErrNoShards},
+		{
+			name: "length mismatch",
+			give: Instance{Sizes: []int{1, 2}, Latencies: []float64{1}, Alpha: 1, Capacity: 1},
+			want: ErrLengthMismatch,
+		},
+		{
+			name: "bad alpha",
+			give: Instance{Sizes: []int{1}, Latencies: []float64{1}, Capacity: 1},
+			want: ErrBadAlpha,
+		},
+		{
+			name: "bad capacity",
+			give: Instance{Sizes: []int{1}, Latencies: []float64{1}, Alpha: 1},
+			want: ErrBadCapacity,
+		},
+		{
+			name: "bad nmin",
+			give: Instance{Sizes: []int{1}, Latencies: []float64{1}, Alpha: 1, Capacity: 1, Nmin: 5},
+			want: ErrBadNmin,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateNegativeFields(t *testing.T) {
+	in := Instance{Sizes: []int{-1}, Latencies: []float64{1}, Alpha: 1, Capacity: 1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	in = Instance{Sizes: []int{1}, Latencies: []float64{-1}, Alpha: 1, Capacity: 1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	in = Instance{Sizes: []int{1}, Latencies: []float64{math.NaN()}, Alpha: 1, Capacity: 1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("NaN latency accepted")
+	}
+}
+
+func TestAgeAndValue(t *testing.T) {
+	in := Instance{
+		Sizes:     []int{100, 200},
+		Latencies: []float64{800, 1000},
+		Alpha:     1.5,
+		Capacity:  1000,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// DDL defaults to 1000.
+	if got := in.Age(0); got != 200 {
+		t.Fatalf("age(0) = %v", got)
+	}
+	if got := in.Age(1); got != 0 {
+		t.Fatalf("age(1) = %v", got)
+	}
+	if got := in.Value(0); got != 1.5*100-200 {
+		t.Fatalf("value(0) = %v", got)
+	}
+	if got := in.Value(1); got != 1.5*200 {
+		t.Fatalf("value(1) = %v", got)
+	}
+}
+
+func TestArrivedExcludesStragglers(t *testing.T) {
+	in := Instance{
+		Sizes:     []int{10, 20, 30},
+		Latencies: []float64{700, 900, 1200},
+		DDL:       1000,
+		Alpha:     1,
+		Capacity:  100,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := in.Arrived()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("arrived %v", got)
+	}
+	if in.TotalArrivedSize() != 30 {
+		t.Fatalf("arrived size %d", in.TotalArrivedSize())
+	}
+}
+
+func TestUtilityLoadCount(t *testing.T) {
+	in := testInstance(2, 6, 1.5, 1, 0)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sel := []bool{true, false, true, false, false, true}
+	wantU := in.Value(0) + in.Value(2) + in.Value(5)
+	if got := in.Utility(sel); math.Abs(got-wantU) > 1e-9 {
+		t.Fatalf("utility %v, want %v", got, wantU)
+	}
+	if got := in.Load(sel); got != in.Sizes[0]+in.Sizes[2]+in.Sizes[5] {
+		t.Fatalf("load %v", got)
+	}
+	if got := in.Count(sel); got != 3 {
+		t.Fatalf("count %v", got)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	in := Instance{
+		Sizes:     []int{50, 60, 70},
+		Latencies: []float64{700, 800, 1200},
+		DDL:       1000,
+		Alpha:     1,
+		Capacity:  120,
+		Nmin:      1,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		sel  []bool
+		want bool
+	}{
+		{name: "ok", sel: []bool{true, true, false}, want: true},
+		{name: "below nmin", sel: []bool{false, false, false}, want: false},
+		{name: "over capacity", sel: []bool{true, true, true}, want: false},
+		{name: "straggler selected", sel: []bool{false, false, true}, want: false},
+		{name: "wrong length", sel: []bool{true}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := in.Feasible(tt.sel); got != tt.want {
+				t.Fatalf("feasible = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	in := testInstance(3, 4, 1.5, 0.5, 1)
+	cp := in.Clone()
+	cp.Sizes[0] = 999999
+	cp.Latencies[0] = 42
+	if in.Sizes[0] == 999999 || in.Latencies[0] == 42 {
+		t.Fatal("clone shares backing arrays")
+	}
+}
+
+func TestNewSolution(t *testing.T) {
+	in := testInstance(4, 5, 1.5, 1, 0)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sel := []bool{true, true, false, false, true}
+	sol := NewSolution(&in, sel)
+	if sol.Count != 3 {
+		t.Fatalf("count %d", sol.Count)
+	}
+	if sol.Load != in.Load(sel) || sol.Utility != in.Utility(sel) {
+		t.Fatal("cached terms disagree with instance evaluation")
+	}
+	idx := sol.Indices()
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 4 {
+		t.Fatalf("indices %v", idx)
+	}
+	// NewSolution must copy the selection.
+	sel[0] = false
+	if !sol.Selected[0] {
+		t.Fatal("solution shares the caller's selection slice")
+	}
+}
+
+func TestValuableDegree(t *testing.T) {
+	in := Instance{
+		Sizes:     []int{100, 300},
+		Latencies: []float64{900, 1000}, // ages 100, 0
+		Alpha:     1,
+		Capacity:  1000,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sol := NewSolution(&in, []bool{true, true})
+	got := sol.ValuableDegree(&in, 0)
+	want := 100.0/100.0 + 300.0/1.0 // zero age floored to 1 s
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VD %v, want %v", got, want)
+	}
+	got = sol.ValuableDegree(&in, 50)
+	want = 100.0/100.0 + 300.0/50.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VD floor=50: %v, want %v", got, want)
+	}
+}
+
+func TestUtilityAdditivityProperty(t *testing.T) {
+	// U(A ∪ B) = U(A) + U(B) for disjoint selections — the linearity the
+	// incremental ΔU bookkeeping in the SE algorithm relies on.
+	f := func(seed int64, mask uint16) bool {
+		in := testInstance(seed, 12, 1.5, 1, 0)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+		a := make([]bool, 12)
+		b := make([]bool, 12)
+		both := make([]bool, 12)
+		for i := 0; i < 12; i++ {
+			bit := mask>>uint(i)&1 == 1
+			if bit {
+				a[i] = true
+			} else if i%2 == 0 {
+				b[i] = true
+			}
+			both[i] = a[i] || b[i]
+		}
+		return math.Abs(in.Utility(both)-(in.Utility(a)+in.Utility(b))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainOrdering(t *testing.T) {
+	in := Instance{
+		Sizes:     []int{100, 300, 50},
+		Latencies: []float64{700, 950, 1200},
+		DDL:       1000,
+		Alpha:     1.5,
+		Capacity:  1000,
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sol := NewSolution(&in, []bool{true, true, false})
+	ds := Explain(&in, sol)
+	if len(ds) != 3 {
+		t.Fatalf("decisions %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Value > ds[i-1].Value {
+			t.Fatalf("not sorted by value: %v", ds)
+		}
+	}
+	for _, d := range ds {
+		if d.Shard == 2 && !d.Straggler {
+			t.Fatal("shard 2 should be a straggler")
+		}
+		if d.Shard == 1 && !d.Selected {
+			t.Fatal("shard 1 should be selected")
+		}
+	}
+}
+
+func TestWriteExplanation(t *testing.T) {
+	in := testInstance(30, 6, 1.5, 0.6, 2)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := NewSE(SEConfig{Seed: 1, MaxIters: 400}).Solve(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteExplanation(&buf, &in, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PERMITTED") {
+		t.Fatalf("no permitted rows in:\n%s", out)
+	}
+	if !strings.Contains(out, "total:") {
+		t.Fatal("missing summary line")
+	}
+}

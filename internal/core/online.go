@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EventKind distinguishes dynamic committee events (Alg. 1 lines 8–12).
+type EventKind int
+
+// The two dynamic events the online algorithm handles.
+const (
+	// EventJoin is a committee submitting its shard after the run began
+	// (a new candidate enters I_j).
+	EventJoin EventKind = iota + 1
+	// EventLeave is a committee failing or withdrawing (Section V); every
+	// solution containing it is trimmed from the state space.
+	EventLeave
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one dynamic committee event delivered at a given iteration.
+type Event struct {
+	// AtIteration is the transition round at which the event fires.
+	AtIteration int
+	// Kind is join or leave.
+	Kind EventKind
+	// Index identifies the shard. For EventLeave it must reference an
+	// existing shard; for EventJoin it is ignored (the shard is appended)
+	// unless it names a previously departed shard to rejoin.
+	Index int
+	// Size and Latency describe a joining shard.
+	Size    int
+	Latency float64
+}
+
+// SolveOnline runs the SE algorithm while handling a stream of dynamic
+// join/leave events. Events are applied in AtIteration order (ties keep
+// slice order). The returned solution reflects the final candidate set;
+// the trace records the utility dips and re-convergences the paper plots
+// in Figs. 9 and 14.
+func (se *SE) SolveOnline(in Instance, events []Event) (Solution, []TracePoint, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, nil, err
+	}
+	run, err := newRun(&in, se.cfg)
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	ordered := append([]Event(nil), events...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].AtIteration < ordered[j].AtIteration
+	})
+	next := 0
+	var applyErr error
+	trace := run.loop(func(iter int) bool {
+		forced := false
+		for next < len(ordered) && ordered[next].AtIteration <= iter {
+			if err := run.applyEvent(ordered[next]); err != nil && applyErr == nil {
+				applyErr = err
+			}
+			next++
+			forced = true
+		}
+		return forced
+	})
+	if applyErr != nil {
+		return Solution{}, trace, applyErr
+	}
+	sol, err := run.best()
+	if err != nil {
+		return Solution{}, trace, err
+	}
+	return sol, trace, nil
+}
+
+// applyEvent mutates the candidate set and repairs explorer state.
+func (r *run) applyEvent(ev Event) error {
+	switch ev.Kind {
+	case EventJoin:
+		return r.applyJoin(ev)
+	case EventLeave:
+		return r.applyLeave(ev)
+	default:
+		return fmt.Errorf("core: unknown event kind %d", ev.Kind)
+	}
+}
+
+// applyJoin appends a new shard (or revives a departed one) to the
+// instance and the candidate set, then extends every explorer with the
+// new maximum-cardinality thread. Existing solution threads keep their
+// current selections — the new shard starts unselected everywhere and is
+// discovered through future swaps, which is what makes the online curves
+// climb after each join.
+func (r *run) applyJoin(ev Event) error {
+	if ev.Size < 0 || ev.Latency < 0 {
+		return fmt.Errorf("core: join event with invalid shard (size=%d latency=%v)", ev.Size, ev.Latency)
+	}
+	if r.cfg.MaxCandidates > 0 && len(r.candidates) >= r.cfg.MaxCandidates {
+		// Termination rule (Alg. 1 lines 29–30): the final committee has
+		// received its Nmax quota and stops listening to new arrivals.
+		return nil
+	}
+	var idx int
+	if ev.Index >= 0 && ev.Index < r.in.NumShards() {
+		// Rejoin of a departed committee: refresh its features.
+		idx = ev.Index
+		for _, pos := range r.candidates {
+			if pos == idx {
+				return fmt.Errorf("core: join event for shard %d which is already live", idx)
+			}
+		}
+		r.in.Sizes[idx] = ev.Size
+		r.in.Latencies[idx] = ev.Latency
+	} else {
+		idx = r.in.NumShards()
+		r.in.Sizes = append(r.in.Sizes, ev.Size)
+		r.in.Latencies = append(r.in.Latencies, ev.Latency)
+	}
+	if ev.Latency > r.in.DDL {
+		// A straggler beyond the deadline never becomes a candidate; the
+		// instance remembers it for the next epoch but the chain ignores
+		// it.
+		return nil
+	}
+	r.candidates = append(r.candidates, idx)
+	r.refreshBetaEff()
+	for _, ex := range r.explorers {
+		ex.extendForJoin()
+	}
+	// Re-offer the full selection under the grown candidate set.
+	r.offerFullIfFeasible()
+	return nil
+}
+
+// applyLeave removes a shard from the candidate set. Following Section V,
+// the solution space is trimmed: every thread whose selection contains the
+// failed shard is re-initialized without it, and the largest-cardinality
+// thread disappears.
+func (r *run) applyLeave(ev Event) error {
+	pos := -1
+	for p, idx := range r.candidates {
+		if idx == ev.Index {
+			pos = p
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("core: leave event for unknown or already-departed shard %d", ev.Index)
+	}
+	last := len(r.candidates) - 1
+	// Swap-remove the candidate; positions shift for the former tail.
+	r.candidates[pos] = r.candidates[last]
+	r.candidates = r.candidates[:last]
+	movedFrom := last // candidate position that moved into pos
+	r.refreshBetaEff()
+	for _, ex := range r.explorers {
+		ex.shrinkForLeave(pos, movedFrom)
+	}
+	// The recorded best may reference the departed shard: invalidate and
+	// let the trimmed chain re-discover (the paper's utility dip).
+	r.invalidateBest(ev.Index)
+	r.offerFullIfFeasible()
+	return nil
+}
+
+// invalidateBest drops the stored best solution if it contains the given
+// instance index, then re-seeds the best from the surviving threads.
+func (r *run) invalidateBest(instanceIdx int) {
+	if !r.haveBest {
+		return
+	}
+	// bestSel is stored over candidate positions of the time it was
+	// recorded; positions may have shifted since. Conservatively rebuild:
+	// drop it and re-offer every live thread.
+	r.haveBest = false
+	r.bestUtil = math.Inf(-1)
+	r.bestSel = nil
+	for _, ex := range r.explorers {
+		for _, th := range ex.threads {
+			if th.active {
+				r.offerBest(th.selected, th.n, th.util)
+			}
+		}
+	}
+}
+
+// offerFullIfFeasible re-evaluates the all-candidates selection f_|I|.
+func (r *run) offerFullIfFeasible() {
+	k := len(r.candidates)
+	if k == 0 {
+		return
+	}
+	full := make([]bool, k)
+	load, util := 0, 0.0
+	for posIdx, idx := range r.candidates {
+		full[posIdx] = true
+		load += r.in.Sizes[idx]
+		util += r.in.Value(idx)
+	}
+	if load <= r.in.Capacity {
+		r.offerBest(full, k, util)
+	}
+}
+
+// extendForJoin grows every thread's candidate-position arrays by one
+// (the new position starts unselected) and adds the new maximum
+// cardinality thread f_{K-1}.
+func (ex *explorer) extendForJoin() {
+	k := len(ex.run.candidates)
+	newPos := k - 1
+	for _, th := range ex.threads {
+		if th.selected == nil {
+			continue
+		}
+		th.selected = append(th.selected, false)
+		th.posInSel = append(th.posInSel, -1)
+		th.posInUns = append(th.posInUns, len(th.unselIdx))
+		th.unselIdx = append(th.unselIdx, newPos)
+		if th.active {
+			ex.setTimer(th)
+		}
+	}
+	// New top cardinality n = K-1 (threads exist for 1..K-1).
+	th := ex.initThread(k - 1)
+	ex.threads = append(ex.threads, th)
+	if th.active {
+		ex.run.offerBest(th.selected, th.n, th.util)
+		ex.setTimer(th)
+	}
+	ex.logRates = make([]float64, len(ex.threads))
+}
+
+// shrinkForLeave repairs threads after candidate position pos was
+// swap-removed (former tail position movedFrom now lives at pos). Threads
+// containing the departed shard are re-initialized from scratch at the
+// same cardinality; the rest only remap positions. The largest
+// cardinality thread is dropped (K shrank by one).
+func (ex *explorer) shrinkForLeave(pos, movedFrom int) {
+	k := len(ex.run.candidates) // already shrunk
+	keep := ex.threads[:0]
+	for _, th := range ex.threads {
+		if th.n > k-1 {
+			continue // cardinality no longer exists
+		}
+		if !th.active || th.selected == nil {
+			// Inactive cardinality: retry initialization in the trimmed
+			// space.
+			nth := ex.initThread(th.n)
+			if nth.active {
+				ex.run.offerBest(nth.selected, nth.n, nth.util)
+				ex.setTimer(nth)
+			}
+			keep = append(keep, nth)
+			continue
+		}
+		if th.selected[pos] {
+			// Solution contained the failed shard: trimmed from the
+			// space; re-initialize this cardinality (Alg. 1 line 11).
+			nth := ex.initThread(th.n)
+			if nth.active {
+				ex.run.offerBest(nth.selected, nth.n, nth.util)
+				ex.setTimer(nth)
+			}
+			keep = append(keep, nth)
+			continue
+		}
+		th.removePosition(pos, movedFrom)
+		ex.setTimer(th)
+		keep = append(keep, th)
+	}
+	ex.threads = keep
+	ex.logRates = make([]float64, len(ex.threads))
+}
+
+// removePosition deletes candidate position pos (unselected in this
+// thread) and remaps the moved tail position movedFrom to pos.
+func (th *thread) removePosition(pos, movedFrom int) {
+	// Remove pos from the unselected list.
+	ui := th.posInUns[pos]
+	lastU := th.unselIdx[len(th.unselIdx)-1]
+	th.unselIdx[ui] = lastU
+	th.posInUns[lastU] = ui
+	th.unselIdx = th.unselIdx[:len(th.unselIdx)-1]
+	th.posInUns[pos] = -1
+
+	if movedFrom != pos {
+		// Candidate formerly at movedFrom now sits at pos: rewrite its
+		// bookkeeping under the new position.
+		th.selected[pos] = th.selected[movedFrom]
+		if si := th.posInSel[movedFrom]; si >= 0 {
+			th.selIdx[si] = pos
+			th.posInSel[pos] = si
+		} else {
+			th.posInSel[pos] = -1
+		}
+		if ui := th.posInUns[movedFrom]; ui >= 0 {
+			th.unselIdx[ui] = pos
+			th.posInUns[pos] = ui
+		} else {
+			th.posInUns[pos] = -1
+		}
+	}
+	th.selected = th.selected[:len(th.selected)-1]
+	th.posInSel = th.posInSel[:len(th.posInSel)-1]
+	th.posInUns = th.posInUns[:len(th.posInUns)-1]
+}

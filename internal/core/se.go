@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mvcom/internal/randx"
+)
+
+// SEConfig tunes the Stochastic-Exploration algorithm (Alg. 1).
+type SEConfig struct {
+	// Beta is the log-sum-exp approximation parameter β (> 0). Larger β
+	// shrinks the optimality loss (1/β)·log|F| but slows mixing
+	// (Remark 2). The paper's default is 2.
+	//
+	// Unless DisableRateNormalization is set, β applies to utility
+	// differences measured in units of the mean per-shard |value| of the
+	// instance. Raw trace utilities are of order 10³–10⁶, at which a
+	// literal exp(½β·ΔU) is both numerically meaningless and effectively
+	// zero-temperature (the chain degenerates to greedy and Γ parallel
+	// explorers all collapse onto one trajectory, contradicting the
+	// stochastic behaviour of the paper's own Fig. 8); normalization
+	// keeps the designed temperature scale-invariant.
+	Beta float64
+	// DisableRateNormalization applies β to raw utility differences
+	// instead of value-scaled ones. The timer race still cannot overflow
+	// (it runs in log space), but the chain becomes quasi-deterministic
+	// at realistic utility scales.
+	DisableRateNormalization bool
+	// Tau is the conditional constant τ of the transition-rate design
+	// (equation (7)). The paper's default is 0. Because the timer race is
+	// resolved in log space, τ only shifts the virtual clock and never
+	// under- or overflows.
+	Tau float64
+	// Gamma is the number of parallel exploration threads Γ (Fig. 8).
+	// Each explorer runs an independent copy of the chain; the scheduler
+	// reports the best solution across explorers after every round.
+	// Default 1.
+	Gamma int
+	// MaxIters caps the number of transition rounds. Default 20000.
+	MaxIters int
+	// ConvergenceWindow stops the run once the best utility has not
+	// improved for this many consecutive rounds ("an empirical number of
+	// running iterations"). Default 400.
+	ConvergenceWindow int
+	// SwapRetries bounds the resampling attempts Set-timer makes to find
+	// a capacity-feasible swap for a solution thread. Default 8.
+	SwapRetries int
+	// InitRetries bounds the attempts Initialization (Alg. 2) makes to
+	// draw a capacity-feasible solution of each cardinality before
+	// marking that cardinality inactive. Default 200.
+	InitRetries int
+	// MaxCandidates, when positive, caps how many live candidates the
+	// online algorithm will accept: once the candidate set reaches this
+	// size, further join events are ignored — Alg. 1 lines 29–30 ("once
+	// the final committee receives more than a specified maximum
+	// percentage Nmax of all member committees, stop listening to the
+	// member committees newly arrived"). Zero means unlimited.
+	MaxCandidates int
+	// MaxThreads caps the number of solution threads per explorer. Alg. 1
+	// nominally keeps one thread per cardinality n ∈ {1..|I|−1}; for
+	// hundreds of shards that spreads the transition budget over hundreds
+	// of subproblems of which only the cardinalities near the capacity
+	// knee matter. When |I|−1 exceeds this cap the explorer keeps an
+	// evenly spaced lattice of cardinalities instead (the utility is
+	// smooth in n, so the lattice loses at most a few shards of
+	// granularity). Default 64.
+	MaxThreads int
+	// Seed drives all randomness. Explorers split independent streams
+	// from it.
+	Seed int64
+}
+
+func (c SEConfig) withDefaults() SEConfig {
+	if c.Beta <= 0 {
+		c.Beta = 2
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 1
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 20000
+	}
+	if c.ConvergenceWindow <= 0 {
+		c.ConvergenceWindow = 400
+	}
+	if c.SwapRetries <= 0 {
+		c.SwapRetries = 8
+	}
+	if c.InitRetries <= 0 {
+		c.InitRetries = 200
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 64
+	}
+	return c
+}
+
+// TracePoint records the best-so-far utility after a transition round; the
+// sequence of points is the convergence curve plotted in Figs. 8–14.
+type TracePoint struct {
+	Iteration int
+	Utility   float64
+}
+
+// SE is the online distributed Stochastic-Exploration solver.
+type SE struct {
+	cfg SEConfig
+}
+
+// NewSE returns a solver with the given configuration.
+func NewSE(cfg SEConfig) *SE {
+	return &SE{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (se *SE) Config() SEConfig { return se.cfg }
+
+// Solve runs the SE algorithm on a static instance and returns the best
+// feasible solution found together with its convergence trace.
+func (se *SE) Solve(in Instance) (Solution, []TracePoint, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, nil, err
+	}
+	run, err := newRun(&in, se.cfg)
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	if sol, done := run.trivial(); done {
+		return sol, []TracePoint{{Iteration: 0, Utility: sol.Utility}}, nil
+	}
+	trace := run.loop(nil)
+	sol, err := run.best()
+	if err != nil {
+		return Solution{}, trace, err
+	}
+	return sol, trace, nil
+}
+
+// run is the shared machinery of Solve and SolveOnline: the candidate
+// set, Γ explorers, and the global best tracker.
+type run struct {
+	in  *Instance
+	cfg SEConfig
+
+	candidates []int // instance indices of arrived shards
+	explorers  []*explorer
+	rootRNG    *randx.RNG
+
+	// betaEff is the effective β used in timer rates: cfg.Beta divided by
+	// the mean per-shard |value| unless normalization is disabled.
+	betaEff float64
+
+	bestUtil   float64
+	bestSel    []bool // over candidate positions
+	bestN      int
+	haveBest   bool
+	iterations int
+}
+
+func newRun(in *Instance, cfg SEConfig) (*run, error) {
+	cands := in.Arrived()
+	if len(cands) == 0 {
+		return nil, ErrNoCandidates
+	}
+	r := &run{
+		in:         in,
+		cfg:        cfg,
+		candidates: cands,
+		rootRNG:    randx.New(cfg.Seed),
+		bestUtil:   math.Inf(-1),
+	}
+	r.refreshBetaEff()
+	r.explorers = make([]*explorer, cfg.Gamma)
+	for g := range r.explorers {
+		r.explorers[g] = newExplorer(r, r.rootRNG.Split())
+	}
+	return r, nil
+}
+
+// rateNormalization rescales the normalized temperature so that a typical
+// improving swap (ΔU of a few tenths of the mean |value|) carries a
+// transition-rate advantage of a few nats: strong enough to drive the
+// chain uphill, weak enough that explorers keep diverging.
+const rateNormalization = 8
+
+// refreshBetaEff recomputes the effective β from the live candidate set;
+// called at construction and after every dynamic event.
+func (r *run) refreshBetaEff() {
+	r.betaEff = r.cfg.Beta
+	if r.cfg.DisableRateNormalization || len(r.candidates) == 0 {
+		return
+	}
+	var absSum float64
+	for _, i := range r.candidates {
+		absSum += math.Abs(r.in.Value(i))
+	}
+	if scale := absSum / float64(len(r.candidates)); scale > 0 {
+		r.betaEff = rateNormalization * r.cfg.Beta / scale
+	}
+}
+
+// trivial handles the bootstrap condition of Alg. 1 line 1: the stochastic
+// search only starts once the arrived shards exceed both Nmin and the
+// block capacity; otherwise the final committee simply permits everything
+// that arrived.
+func (r *run) trivial() (Solution, bool) {
+	if r.in.TotalArrivedSize() > r.in.Capacity {
+		return Solution{}, false
+	}
+	if len(r.candidates) < r.in.Nmin {
+		return Solution{}, false
+	}
+	sel := make([]bool, r.in.NumShards())
+	for _, i := range r.candidates {
+		sel[i] = true
+	}
+	return NewSolution(r.in, sel), true
+}
+
+// loop advances all explorers in lockstep rounds until convergence or the
+// iteration cap, recording the global best utility after each round. The
+// onRound hook, when non-nil, runs before each round and lets the online
+// wrapper inject join/leave events; it returns true to force a trace point
+// even without improvement.
+func (r *run) loop(onRound func(iter int) bool) []TracePoint {
+	trace := make([]TracePoint, 0, 256)
+	sinceImprove := 0
+	for iter := 1; iter <= r.cfg.MaxIters; iter++ {
+		forcePoint := false
+		if onRound != nil {
+			forcePoint = onRound(iter)
+		}
+		improved := false
+		for _, ex := range r.explorers {
+			if ex.step() {
+				improved = true
+			}
+		}
+		r.iterations = iter
+		if improved {
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if improved || forcePoint || len(trace) == 0 {
+			trace = append(trace, TracePoint{Iteration: iter, Utility: r.bestObserved()})
+		}
+		if onRound == nil && sinceImprove >= r.cfg.ConvergenceWindow {
+			break
+		}
+	}
+	trace = append(trace, TracePoint{Iteration: r.iterations, Utility: r.bestObserved()})
+	return trace
+}
+
+// bestObserved returns the best utility seen so far, or -Inf.
+func (r *run) bestObserved() float64 { return r.bestUtil }
+
+// offerBest lets explorers report candidate-best solutions that satisfy
+// Nmin; the run keeps the max (Alg. 1 lines 22–27).
+func (r *run) offerBest(sel []bool, n int, util float64) bool {
+	if n < r.in.Nmin {
+		return false
+	}
+	if r.haveBest && util <= r.bestUtil {
+		return false
+	}
+	if r.bestSel == nil || len(r.bestSel) != len(sel) {
+		r.bestSel = make([]bool, len(sel))
+	}
+	copy(r.bestSel, sel)
+	r.bestUtil = util
+	r.bestN = n
+	r.haveBest = true
+	return true
+}
+
+// best converts the best candidate-space selection into an instance-space
+// Solution. It returns ErrInfeasible when no thread ever produced a
+// selection meeting Nmin.
+func (r *run) best() (Solution, error) {
+	if !r.haveBest {
+		return Solution{}, fmt.Errorf("%w: |I|=%d Nmin=%d capacity=%d",
+			ErrInfeasible, len(r.candidates), r.in.Nmin, r.in.Capacity)
+	}
+	sel := make([]bool, r.in.NumShards())
+	for pos, on := range r.bestSel {
+		if on {
+			sel[r.candidates[pos]] = true
+		}
+	}
+	sol := NewSolution(r.in, sel)
+	sol.Iterations = r.iterations
+	return sol, nil
+}
+
+// explorer runs one independent copy of the designed Markov chain: one
+// solution thread f_n per cardinality n ∈ {1..K−1} (Alg. 1 line 3), each
+// holding an exponential timer whose rate follows equation (8).
+type explorer struct {
+	run *run
+	rng *randx.RNG
+
+	threads []*thread
+	// logRates is scratch space for the per-round timer race.
+	logRates []float64
+}
+
+// thread is one parallel feasible solution f_n with its proposed swap.
+type thread struct {
+	n      int
+	active bool
+
+	selected []bool // over candidate positions
+	selIdx   []int  // positions currently selected
+	unselIdx []int  // positions currently unselected
+	posInSel []int  // position → index in selIdx (or -1)
+	posInUns []int  // position → index in unselIdx (or -1)
+
+	load int
+	util float64
+
+	// Current proposal (Set-timer, Alg. 3): swap out selIdx ĩ for
+	// unselected ï. proposalOK is false when no feasible swap was found
+	// within the retry budget — the thread's timer never fires this
+	// round.
+	out, in    int
+	dU         float64
+	proposalOK bool
+}
+
+func newExplorer(r *run, rng *randx.RNG) *explorer {
+	ex := &explorer{run: r, rng: rng}
+	k := len(r.candidates)
+	cards := threadCardinalities(k, r.cfg.MaxThreads)
+	ex.threads = make([]*thread, 0, len(cards))
+	for _, n := range cards {
+		th := ex.initThread(n)
+		ex.threads = append(ex.threads, th)
+		if th.active {
+			r.offerBest(th.selected, th.n, th.util)
+		}
+	}
+	// The full selection f_|I| participates in the final arg-max when Ĉ
+	// permits it (Alg. 1 line 25).
+	full := make([]bool, k)
+	load, util := 0, 0.0
+	for pos := range full {
+		full[pos] = true
+		load += r.in.Sizes[r.candidates[pos]]
+		util += r.in.Value(r.candidates[pos])
+	}
+	if load <= r.in.Capacity {
+		r.offerBest(full, k, util)
+	}
+	ex.logRates = make([]float64, len(ex.threads))
+	for _, th := range ex.threads {
+		if th.active {
+			ex.setTimer(th)
+		}
+	}
+	return ex
+}
+
+// threadCardinalities returns the cardinalities that receive a solution
+// thread: all of 1..k−1 when they fit under cap, otherwise an evenly
+// spaced lattice of cap values covering [1, k−1].
+func threadCardinalities(k, maxThreads int) []int {
+	total := k - 1
+	if total <= 0 {
+		return nil
+	}
+	if total <= maxThreads {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	out := make([]int, 0, maxThreads)
+	last := 0
+	for i := 0; i < maxThreads; i++ {
+		n := 1 + i*(total-1)/(maxThreads-1)
+		if n != last {
+			out = append(out, n)
+			last = n
+		}
+	}
+	return out
+}
+
+// initThread is Initialization() (Alg. 2): draw random n-subsets until one
+// satisfies the capacity constraint, giving up after InitRetries attempts
+// (the cardinality is then inactive — equivalent to the trimmed state
+// space of Section V).
+func (ex *explorer) initThread(n int) *thread {
+	r := ex.run
+	k := len(r.candidates)
+	th := &thread{n: n}
+	for attempt := 0; attempt < r.cfg.InitRetries; attempt++ {
+		pick, err := ex.rng.SampleWithoutReplacement(k, n)
+		if err != nil {
+			break
+		}
+		load := 0
+		for _, pos := range pick {
+			load += r.in.Sizes[r.candidates[pos]]
+		}
+		if load > r.in.Capacity {
+			continue
+		}
+		th.adopt(r, pick)
+		th.active = true
+		return th
+	}
+	return th
+}
+
+// adopt installs a selection given by candidate positions.
+func (th *thread) adopt(r *run, pick []int) {
+	k := len(r.candidates)
+	th.selected = make([]bool, k)
+	th.posInSel = make([]int, k)
+	th.posInUns = make([]int, k)
+	for i := range th.posInSel {
+		th.posInSel[i] = -1
+		th.posInUns[i] = -1
+	}
+	th.selIdx = th.selIdx[:0]
+	th.unselIdx = th.unselIdx[:0]
+	th.load = 0
+	th.util = 0
+	for _, pos := range pick {
+		th.selected[pos] = true
+	}
+	for pos := 0; pos < k; pos++ {
+		if th.selected[pos] {
+			th.posInSel[pos] = len(th.selIdx)
+			th.selIdx = append(th.selIdx, pos)
+			th.load += r.in.Sizes[r.candidates[pos]]
+			th.util += r.in.Value(r.candidates[pos])
+		} else {
+			th.posInUns[pos] = len(th.unselIdx)
+			th.unselIdx = append(th.unselIdx, pos)
+		}
+	}
+}
+
+// setTimer is Set-timer() (Alg. 3): choose a random selected shard ĩ and a
+// random unselected shard ï, estimate the utility after swapping, and arm
+// the exponential timer with mean exp(τ − ½β(U_f' − U_f)) / (|I_j| − n).
+// Swaps that would violate the capacity constraint are resampled a bounded
+// number of times.
+func (ex *explorer) setTimer(th *thread) {
+	r := ex.run
+	th.proposalOK = false
+	if len(th.selIdx) == 0 || len(th.unselIdx) == 0 {
+		return
+	}
+	for attempt := 0; attempt < r.cfg.SwapRetries; attempt++ {
+		outPos := th.selIdx[ex.rng.Intn(len(th.selIdx))]
+		inPos := th.unselIdx[ex.rng.Intn(len(th.unselIdx))]
+		iOut := r.candidates[outPos]
+		iIn := r.candidates[inPos]
+		if th.load-r.in.Sizes[iOut]+r.in.Sizes[iIn] > r.in.Capacity {
+			continue
+		}
+		th.out = outPos
+		th.in = inPos
+		th.dU = r.in.Value(iIn) - r.in.Value(iOut)
+		th.proposalOK = true
+		return
+	}
+}
+
+// logRate returns the log timer rate of the thread's armed proposal:
+// log rate = log(|I_j| − n) − τ + ½β·ΔU (the reciprocal of equation (8)'s
+// mean). Inactive or proposal-less threads never fire (−Inf).
+func (ex *explorer) logRate(th *thread) float64 {
+	if !th.active || !th.proposalOK {
+		return math.Inf(-1)
+	}
+	k := len(ex.run.candidates)
+	return math.Log(float64(k-th.n)) - ex.run.cfg.Tau + 0.5*ex.run.betaEff*th.dU
+}
+
+// step performs one transition round: every armed timer races (the
+// Gumbel-max resolution of the exponential race), the winning thread swaps
+// its proposed pair (State Transit), and the RESET broadcast re-arms every
+// timer (Alg. 1 lines 13–20). It reports whether the global best improved.
+func (ex *explorer) step() bool {
+	for i, th := range ex.threads {
+		ex.logRates[i] = ex.logRate(th)
+	}
+	winner, _, err := ex.rng.MinExponentialLog(ex.logRates)
+	if err != nil {
+		// No timer can fire: all threads inactive or proposal-less.
+		// Re-arm and hope a future round finds feasible swaps.
+		for _, th := range ex.threads {
+			if th.active {
+				ex.setTimer(th)
+			}
+		}
+		return false
+	}
+	th := ex.threads[winner]
+	th.applySwap(ex.run)
+	improved := ex.run.offerBest(th.selected, th.n, th.util)
+	// RESET: every solution thread refreshes its timer with the updated
+	// utilities.
+	for _, t := range ex.threads {
+		if t.active {
+			ex.setTimer(t)
+		}
+	}
+	return improved
+}
+
+// applySwap executes the armed proposal: x_ĩ ← 0, x_ï ← 1.
+func (th *thread) applySwap(r *run) {
+	outPos, inPos := th.out, th.in
+	iOut := r.candidates[outPos]
+	iIn := r.candidates[inPos]
+
+	th.selected[outPos] = false
+	th.selected[inPos] = true
+	th.load += r.in.Sizes[iIn] - r.in.Sizes[iOut]
+	th.util += th.dU
+
+	// Maintain the index lists in O(1) by swapping with the tail.
+	si := th.posInSel[outPos]
+	last := th.selIdx[len(th.selIdx)-1]
+	th.selIdx[si] = last
+	th.posInSel[last] = si
+	th.selIdx = th.selIdx[:len(th.selIdx)-1]
+	th.posInSel[outPos] = -1
+
+	ui := th.posInUns[inPos]
+	lastU := th.unselIdx[len(th.unselIdx)-1]
+	th.unselIdx[ui] = lastU
+	th.posInUns[lastU] = ui
+	th.unselIdx = th.unselIdx[:len(th.unselIdx)-1]
+	th.posInUns[inPos] = -1
+
+	th.posInSel[inPos] = len(th.selIdx)
+	th.selIdx = append(th.selIdx, inPos)
+	th.posInUns[outPos] = len(th.unselIdx)
+	th.unselIdx = append(th.unselIdx, outPos)
+}

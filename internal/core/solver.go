@@ -1,0 +1,19 @@
+package core
+
+// Solver is the common contract of the SE algorithm and the paper's
+// baseline algorithms (SA, DP, WOA): given one epoch's instance, produce a
+// feasible selection and a convergence trace. Implementations must not
+// mutate the instance's slices.
+type Solver interface {
+	// Name identifies the algorithm in experiment output ("SE", "SA",
+	// "DP", "WOA", ...).
+	Name() string
+	// Solve returns the best feasible solution found and the
+	// best-so-far utility trace.
+	Solve(in Instance) (Solution, []TracePoint, error)
+}
+
+// Name implements Solver for the Stochastic-Exploration algorithm.
+func (se *SE) Name() string { return "SE" }
+
+var _ Solver = (*SE)(nil)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// Theory errors.
+var ErrBadTheoryArgs = errors.New("core: invalid theory arguments")
+
+// LogTransitionRate returns log q_{f,f'} for the designed Markov chain
+// (equation (7)): q_{f,f'} = exp(−τ)·exp(½β(U_{f'} − U_f)). Working in
+// log space keeps the quantity finite for the utility scales the paper
+// evaluates (β=2 with U ~ 10⁵ would overflow exp()).
+func LogTransitionRate(beta, tau, uFrom, uTo float64) float64 {
+	return 0.5*beta*(uTo-uFrom) - tau
+}
+
+// LogStationaryWeight returns log of the unnormalized stationary weight
+// exp(β·U_f) of a solution (equation (6) without the partition function).
+func LogStationaryWeight(beta, utility float64) float64 {
+	return beta * utility
+}
+
+// DetailedBalanceResidual returns
+//
+//	[log p*_f + log q_{f,f'}] − [log p*_{f'} + log q_{f',f}]
+//
+// which Lemma 3 proves is exactly zero for every pair of adjacent states.
+// Exposed so tests (and skeptical users) can verify the time-reversibility
+// property numerically.
+func DetailedBalanceResidual(beta, tau, uF, uFp float64) float64 {
+	left := LogStationaryWeight(beta, uF) + LogTransitionRate(beta, tau, uF, uFp)
+	right := LogStationaryWeight(beta, uFp) + LogTransitionRate(beta, tau, uFp, uF)
+	return left - right
+}
+
+// OptimalityLossBound returns the approximation-loss bound of the
+// log-sum-exp relaxation (Remark 1): (1/β)·log|F| with |F| = 2^numShards.
+// Computed as numShards·log(2)/β to stay finite for hundreds of shards.
+func OptimalityLossBound(beta float64, numShards int) (float64, error) {
+	if beta <= 0 || numShards < 0 {
+		return 0, ErrBadTheoryArgs
+	}
+	return float64(numShards) * math.Ln2 / beta, nil
+}
+
+// MixingBounds holds the Theorem 1 bracket on the mixing time t_mix(ε) of
+// the constructed Markov chain. Both bounds are reported in log space
+// (natural log of virtual time units) because the upper bound contains
+// exp(3/2·β·(Umax−Umin)), which overflows float64 for realistic utility
+// ranges; use the Log fields for comparisons and the Value fields when
+// they are finite.
+type MixingBounds struct {
+	LogLower float64
+	LogUpper float64
+	// Lower and Upper are exp(LogLower) and exp(LogUpper); +Inf when the
+	// exponent overflows.
+	Lower float64
+	Upper float64
+}
+
+// MixingTimeBounds evaluates Theorem 1:
+//
+//	t_mix(ε) ≥ exp(τ − ½β(Umax−Umin)) / (|I|² − |I|) · ln(1/2ε)
+//	t_mix(ε) ≤ 4|I|(|I|²−|I|)·exp(3/2·β(Umax−Umin) + τ)
+//	           · [ln(1/2ε) + ½|I|·ln 2 + ½β(Umax−Umin)]
+//
+// It requires |I| ≥ 2, 0 < ε < 1/2, β > 0 and Umax ≥ Umin.
+func MixingTimeBounds(numShards int, beta, tau, umax, umin, eps float64) (MixingBounds, error) {
+	if numShards < 2 || beta <= 0 || eps <= 0 || eps >= 0.5 || umax < umin {
+		return MixingBounds{}, ErrBadTheoryArgs
+	}
+	ii := float64(numShards)
+	spread := umax - umin
+	lnTerm := math.Log(1 / (2 * eps))
+
+	logLower := tau - 0.5*beta*spread - math.Log(ii*ii-ii) + math.Log(lnTerm)
+
+	bracket := lnTerm + 0.5*ii*math.Ln2 + 0.5*beta*spread
+	logUpper := math.Log(4*ii*(ii*ii-ii)) + 1.5*beta*spread + tau + math.Log(bracket)
+
+	return MixingBounds{
+		LogLower: logLower,
+		LogUpper: logUpper,
+		Lower:    math.Exp(logLower),
+		Upper:    math.Exp(logUpper),
+	}, nil
+}
+
+// SolutionSpaceSize returns log2 |F| = |I| for the untrimmed space and the
+// trimmed-space size after one committee failure, log2 |G| = |I| − 1
+// (Section V-B: |G| = 2^{|I|−1}).
+func SolutionSpaceSize(numShards int) (log2F, log2G float64) {
+	return float64(numShards), float64(numShards - 1)
+}
+
+// FailurePerturbation evaluates the Section V bounds for a single
+// committee failure.
+type FailurePerturbation struct {
+	// TVDistance is d_TV(q*, q̃) — Lemma 4 proves it equals
+	// |F\G|/|F| = 1/2 under the i.i.d.-utility assumption.
+	TVDistance float64
+	// UtilityBound is the Theorem 2 bound ‖q*uᵀ − q̃uᵀ‖ ≤ max_{g∈G} U_g.
+	UtilityBound float64
+}
+
+// PerturbationBound evaluates Theorem 2 for a failure event given the best
+// utility in the trimmed space G.
+func PerturbationBound(bestTrimmedUtility float64) FailurePerturbation {
+	return FailurePerturbation{
+		TVDistance:   0.5,
+		UtilityBound: bestTrimmedUtility,
+	}
+}
+
+// EmpiricalTV computes the total-variation distance ½·Σ|p_i − q_i| between
+// two distributions over the same support; tests use it to check Lemma 4
+// by enumerating small solution spaces. The slices must be equal length.
+func EmpiricalTV(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrBadTheoryArgs
+	}
+	var tv float64
+	for i := range p {
+		tv += math.Abs(p[i] - q[i])
+	}
+	return tv / 2, nil
+}
+
+// StationaryDistribution enumerates the exact Gibbs stationary
+// distribution p*_f ∝ exp(β·U_f) over an explicit list of solution
+// utilities, normalizing in log space. It errors on an empty list.
+func StationaryDistribution(beta float64, utilities []float64) ([]float64, error) {
+	if len(utilities) == 0 || beta <= 0 {
+		return nil, ErrBadTheoryArgs
+	}
+	logw := make([]float64, len(utilities))
+	maxW := math.Inf(-1)
+	for i, u := range utilities {
+		logw[i] = beta * u
+		if logw[i] > maxW {
+			maxW = logw[i]
+		}
+	}
+	var z float64
+	for _, w := range logw {
+		z += math.Exp(w - maxW)
+	}
+	out := make([]float64, len(logw))
+	for i, w := range logw {
+		out[i] = math.Exp(w-maxW) / z
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"mvcom/internal/core"
+)
+
+// Coordinator errors.
+var (
+	ErrNoWorkers = errors.New("dist: no workers connected")
+	ErrNoResult  = errors.New("dist: no worker produced a feasible solution")
+)
+
+// CoordinatorConfig tunes a coordinated run.
+type CoordinatorConfig struct {
+	// Instance is the epoch's scheduling input.
+	Instance core.Instance
+	// Workers is how many workers to wait for before starting. Required.
+	Workers int
+	// AcceptTimeout bounds the wait for workers to connect. Default 10 s.
+	AcceptTimeout time.Duration
+	// RunTimeout bounds the exploration after start. Default 30 s.
+	RunTimeout time.Duration
+	// StableReports stops the run early once this many consecutive
+	// progress reports arrive without a global-best improvement.
+	// Default 20.
+	StableReports int
+	// ReportEvery asks workers to report every N iterations. Default 200.
+	ReportEvery int
+	// MaxIterations caps each worker's rounds. Default 20000.
+	MaxIterations int
+	// Beta, Tau, Seed mirror core.SEConfig; worker g receives Seed+g.
+	Beta float64
+	Tau  float64
+	Seed int64
+	// Events are pushed to all workers at the given wall-clock offsets
+	// after the run starts.
+	Events []TimedEvent
+}
+
+// TimedEvent schedules a dynamic event relative to run start.
+type TimedEvent struct {
+	After time.Duration
+	Event core.Event
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.AcceptTimeout <= 0 {
+		c.AcceptTimeout = 10 * time.Second
+	}
+	if c.RunTimeout <= 0 {
+		c.RunTimeout = 30 * time.Second
+	}
+	if c.StableReports <= 0 {
+		c.StableReports = 20
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 200
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 20000
+	}
+	if c.Beta <= 0 {
+		c.Beta = 2
+	}
+	return c
+}
+
+// Coordinator runs the distributed SE session.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	best     Result
+	haveBest bool
+	improves int // report counter since last improvement
+}
+
+// NewCoordinator validates the instance and starts listening on addr
+// (e.g. "127.0.0.1:0").
+func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dist: workers = %d, need >= 1", cfg.Workers)
+	}
+	inst := cfg.Instance.Clone()
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Instance = inst
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	return &Coordinator{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the listening address for workers to dial.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Close releases the listener.
+func (co *Coordinator) Close() error { return co.ln.Close() }
+
+// Run accepts the configured number of workers, distributes the task,
+// relays events, and returns the best solution any worker reported. The
+// instance returned alongside reflects join events so the selection can be
+// interpreted.
+func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
+	inst := co.cfg.Instance.Clone()
+	conns, err := co.acceptWorkers()
+	if err != nil {
+		return core.Solution{}, inst, err
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.conn.Close()
+		}
+	}()
+
+	// Hand out tasks with per-worker seeds.
+	for g, c := range conns {
+		task := Task{
+			Sizes:         co.cfg.Instance.Sizes,
+			Latencies:     co.cfg.Instance.Latencies,
+			DDL:           co.cfg.Instance.DDL,
+			Alpha:         co.cfg.Instance.Alpha,
+			Capacity:      co.cfg.Instance.Capacity,
+			Nmin:          co.cfg.Instance.Nmin,
+			Beta:          co.cfg.Beta,
+			Tau:           co.cfg.Tau,
+			Seed:          co.cfg.Seed + int64(g)*7919,
+			ReportEvery:   co.cfg.ReportEvery,
+			MaxIterations: co.cfg.MaxIterations,
+		}
+		if err := c.send(MsgTask, task); err != nil {
+			return core.Solution{}, inst, err
+		}
+	}
+
+	// Apply events to the local instance copy as they are pushed, so the
+	// final selection maps onto the right shard set. Sends to workers that
+	// already finished are best-effort — a worker may legitimately have
+	// stopped or died, which the session tolerates everywhere else too.
+	done := make(chan struct{})
+	var evMu sync.Mutex
+	go func() {
+		defer close(done)
+		start := time.Now()
+		for _, te := range co.cfg.Events {
+			wait := te.After - time.Since(start)
+			if wait > 0 {
+				time.Sleep(wait)
+			}
+			evMu.Lock()
+			if ev := te.Event; ev.Kind == core.EventJoin && (ev.Index < 0 || ev.Index >= inst.NumShards()) {
+				inst.Sizes = append(inst.Sizes, ev.Size)
+				inst.Latencies = append(inst.Latencies, ev.Latency)
+			}
+			evMu.Unlock()
+			for _, c := range conns {
+				_ = c.send(MsgEvent, FromEvent(te.Event))
+			}
+		}
+	}()
+
+	results := co.collect(conns)
+	<-done
+
+	best, ok := pickBest(results)
+	if !ok {
+		return core.Solution{}, inst, ErrNoResult
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(best.Selected) > inst.NumShards() {
+		return core.Solution{}, inst, fmt.Errorf("dist: result length %d exceeds %d shards",
+			len(best.Selected), inst.NumShards())
+	}
+	// A worker that stopped before late join events reports a shorter
+	// vector; the missing shards are simply unselected.
+	sel := make([]bool, inst.NumShards())
+	copy(sel, best.Selected)
+	sol := core.NewSolution(&inst, sel)
+	sol.Iterations = best.Iterations
+	return sol, inst, nil
+}
+
+// acceptWorkers blocks until the configured number of workers said hello.
+func (co *Coordinator) acceptWorkers() ([]*codec, error) {
+	deadline := time.Now().Add(co.cfg.AcceptTimeout)
+	var conns []*codec
+	for len(conns) < co.cfg.Workers {
+		if dl, ok := co.ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := co.ln.Accept()
+		if err != nil {
+			if len(conns) == 0 {
+				return nil, fmt.Errorf("%w: %v", ErrNoWorkers, err)
+			}
+			return nil, fmt.Errorf("dist: accept: %w", err)
+		}
+		c := newCodec(conn)
+		env, err := c.recv(co.cfg.AcceptTimeout)
+		if err != nil || env.Type != MsgHello {
+			_ = conn.Close()
+			continue
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// collect reads progress and results from every worker until all stop.
+func (co *Coordinator) collect(conns []*codec) []Result {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []Result
+	)
+	stopAll := func() {
+		for _, c := range conns {
+			_ = c.send(MsgStop, struct{}{})
+		}
+	}
+	timer := time.AfterFunc(co.cfg.RunTimeout, stopAll)
+	defer timer.Stop()
+
+	for _, c := range conns {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				env, err := c.recv(co.cfg.RunTimeout + 5*time.Second)
+				if err != nil {
+					return // worker died; tolerate
+				}
+				switch env.Type {
+				case MsgProgress:
+					p, err := decode[Progress](env)
+					if err != nil {
+						continue
+					}
+					if co.noteProgress(p) {
+						stopAll()
+					}
+					// Share the global best back (informational; the
+					// paper's "current system utility" exchange).
+					co.mu.Lock()
+					bu := co.best.Utility
+					have := co.haveBest
+					co.mu.Unlock()
+					if have {
+						_ = c.send(MsgBest, Best{Utility: bu})
+					}
+				case MsgResult:
+					r, err := decode[Result](env)
+					if err == nil {
+						mu.Lock()
+						results = append(results, r)
+						mu.Unlock()
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// noteProgress folds a report into the convergence tracker and reports
+// whether the run should stop (global best stable long enough).
+func (co *Coordinator) noteProgress(p Progress) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if p.Feasible && (!co.haveBest || p.Utility > co.best.Utility) {
+		co.best = Result{WorkerID: p.WorkerID, Utility: p.Utility, Iterations: p.Iterations}
+		co.haveBest = true
+		co.improves = 0
+		return false
+	}
+	co.improves++
+	return co.haveBest && co.improves >= co.cfg.StableReports
+}
+
+// pickBest chooses the highest-utility feasible result.
+func pickBest(results []Result) (Result, bool) {
+	best := Result{Utility: math.Inf(-1)}
+	ok := false
+	for _, r := range results {
+		if r.Err != "" || r.Selected == nil {
+			continue
+		}
+		if r.Utility > best.Utility {
+			best = r
+			ok = true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mvcom/internal/core"
+)
+
+// FuzzEnvelopeDecode checks that arbitrary wire bytes never panic the
+// message layer and that every message type round-trips.
+func FuzzEnvelopeDecode(f *testing.F) {
+	seedBodies := []any{
+		Hello{WorkerID: "w1"},
+		Task{Sizes: []int{1, 2}, Latencies: []float64{3, 4}, Alpha: 1.5, Capacity: 10, Seed: 7},
+		Progress{WorkerID: "w1", Iterations: 10, Utility: 1.5, Feasible: true},
+		FromEvent(core.Event{Kind: core.EventJoin, Index: -1, Size: 5, Latency: 2}),
+		Best{Utility: 42},
+		Result{WorkerID: "w1", Utility: 9, Selected: []bool{true, false}},
+	}
+	types := []MsgType{MsgHello, MsgTask, MsgProgress, MsgEvent, MsgBest, MsgResult}
+	for i, body := range seedBodies {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		env, err := json.Marshal(Envelope{Type: types[i], Body: raw})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env)
+	}
+	f.Add([]byte(`{"type":"???","body":{}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return
+		}
+		// Whatever parses as an envelope must be safely decodable (or
+		// cleanly rejected) as each body type.
+		if env.Body == nil {
+			return
+		}
+		_, _ = decode[Hello](env)
+		_, _ = decode[Task](env)
+		_, _ = decode[Progress](env)
+		if m, err := decode[EventMsg](env); err == nil {
+			_, _ = m.ToEvent()
+		}
+		_, _ = decode[Best](env)
+		_, _ = decode[Result](env)
+	})
+}
+
+// FuzzTaskInstance checks Task → Instance conversion plus validation never
+// panics on arbitrary numeric content.
+func FuzzTaskInstance(f *testing.F) {
+	f.Add(3, 100, 1.5, 0)
+	f.Add(0, 0, 0.0, -1)
+	f.Fuzz(func(t *testing.T, n int, capacity int, alpha float64, nmin int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 64
+		task := Task{
+			Sizes:     make([]int, n),
+			Latencies: make([]float64, n),
+			Alpha:     alpha,
+			Capacity:  capacity,
+			Nmin:      nmin,
+		}
+		for i := 0; i < n; i++ {
+			task.Sizes[i] = (i * 37) % 1000
+			task.Latencies[i] = float64((i * 13) % 900)
+		}
+		in := task.Instance()
+		_ = in.Validate() // must not panic; errors are fine
+	})
+}

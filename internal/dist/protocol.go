@@ -1,0 +1,198 @@
+// Package dist implements the online distributed execution mode of the SE
+// algorithm (Section IV-D): the solver's parallel threads "can run in
+// either one single machine or multiple distributed machines, as long as
+// those independent threads can communicate with each other with a low
+// delay", exchanging only RESET signals and the current system utility.
+//
+// A Coordinator owns the scheduling instance and listens on TCP. Each
+// Worker connects, receives the instance plus a private seed, and runs an
+// independent core.Engine; it reports its best utility periodically, and
+// the coordinator pushes dynamic join/leave events and the global best
+// back. When the global best stabilizes (or the deadline passes) the
+// coordinator broadcasts stop and returns the best solution reported by
+// any worker.
+//
+// The wire protocol is newline-delimited JSON — small, debuggable, and
+// stdlib-only.
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"mvcom/internal/core"
+)
+
+// MsgType enumerates the wire messages.
+type MsgType string
+
+// The protocol messages.
+const (
+	// MsgHello is the worker's first message.
+	MsgHello MsgType = "hello"
+	// MsgTask carries the instance and solver configuration to a worker.
+	MsgTask MsgType = "task"
+	// MsgProgress is a worker's periodic best-utility report.
+	MsgProgress MsgType = "progress"
+	// MsgEvent pushes a dynamic join/leave event to workers.
+	MsgEvent MsgType = "event"
+	// MsgBest shares the global best utility with workers.
+	MsgBest MsgType = "best"
+	// MsgStop tells workers to report their final solution and exit.
+	MsgStop MsgType = "stop"
+	// MsgResult is a worker's final report.
+	MsgResult MsgType = "result"
+)
+
+// Envelope is the framing of every message.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello identifies a connecting worker.
+type Hello struct {
+	WorkerID string `json:"workerId"`
+}
+
+// Task is the assignment sent to a worker.
+type Task struct {
+	Sizes     []int     `json:"sizes"`
+	Latencies []float64 `json:"latencies"`
+	DDL       float64   `json:"ddl"`
+	Alpha     float64   `json:"alpha"`
+	Capacity  int       `json:"capacity"`
+	Nmin      int       `json:"nmin"`
+
+	Beta          float64 `json:"beta"`
+	Tau           float64 `json:"tau"`
+	Seed          int64   `json:"seed"`
+	ReportEvery   int     `json:"reportEvery"`
+	MaxIterations int     `json:"maxIterations"`
+}
+
+// Instance reconstructs the core.Instance of a task.
+func (t Task) Instance() core.Instance {
+	return core.Instance{
+		Sizes:     append([]int(nil), t.Sizes...),
+		Latencies: append([]float64(nil), t.Latencies...),
+		DDL:       t.DDL,
+		Alpha:     t.Alpha,
+		Capacity:  t.Capacity,
+		Nmin:      t.Nmin,
+	}
+}
+
+// Progress is a worker's periodic report.
+type Progress struct {
+	WorkerID   string  `json:"workerId"`
+	Iterations int     `json:"iterations"`
+	Utility    float64 `json:"utility"`
+	Feasible   bool    `json:"feasible"`
+}
+
+// EventMsg mirrors core.Event on the wire.
+type EventMsg struct {
+	Kind    string  `json:"kind"` // "join" or "leave"
+	Index   int     `json:"index"`
+	Size    int     `json:"size,omitempty"`
+	Latency float64 `json:"latency,omitempty"`
+}
+
+// ToEvent converts the wire form to a core.Event.
+func (m EventMsg) ToEvent() (core.Event, error) {
+	switch m.Kind {
+	case "join":
+		return core.Event{Kind: core.EventJoin, Index: m.Index, Size: m.Size, Latency: m.Latency}, nil
+	case "leave":
+		return core.Event{Kind: core.EventLeave, Index: m.Index}, nil
+	default:
+		return core.Event{}, fmt.Errorf("dist: unknown event kind %q", m.Kind)
+	}
+}
+
+// FromEvent converts a core.Event to the wire form.
+func FromEvent(ev core.Event) EventMsg {
+	m := EventMsg{Index: ev.Index, Size: ev.Size, Latency: ev.Latency}
+	if ev.Kind == core.EventJoin {
+		m.Kind = "join"
+	} else {
+		m.Kind = "leave"
+	}
+	return m
+}
+
+// Best shares the global best utility.
+type Best struct {
+	Utility float64 `json:"utility"`
+}
+
+// Result is a worker's final answer.
+type Result struct {
+	WorkerID   string  `json:"workerId"`
+	Utility    float64 `json:"utility"`
+	Selected   []bool  `json:"selected"`
+	Iterations int     `json:"iterations"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// codec frames envelopes over a connection.
+type codec struct {
+	conn net.Conn
+	r    *bufio.Reader
+	enc  *json.Encoder
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<20),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// send marshals body into an envelope and writes it.
+func (c *codec) send(t MsgType, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dist: marshal %s: %w", t, err)
+	}
+	if err := c.enc.Encode(Envelope{Type: t, Body: raw}); err != nil {
+		return fmt.Errorf("dist: send %s: %w", t, err)
+	}
+	return nil
+}
+
+// recv reads the next envelope, honoring the deadline if non-zero.
+func (c *codec) recv(deadline time.Duration) (Envelope, error) {
+	if deadline > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
+			return Envelope{}, err
+		}
+	} else {
+		if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
+			return Envelope{}, err
+		}
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, fmt.Errorf("dist: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
+// decode unmarshals an envelope body.
+func decode[T any](env Envelope) (T, error) {
+	var v T
+	if err := json.Unmarshal(env.Body, &v); err != nil {
+		return v, fmt.Errorf("dist: decode %s body: %w", env.Type, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mvcom/internal/core"
+)
+
+// Worker errors.
+var ErrBadTask = errors.New("dist: malformed task")
+
+// Worker runs one SE exploration engine against a coordinator.
+type Worker struct {
+	// ID labels the worker in reports. Required.
+	ID string
+	// DialTimeout bounds the connection attempt. Default 5 s.
+	DialTimeout time.Duration
+	// Throttle, when positive, sleeps this long every 100 transition
+	// rounds. It paces the chain against wall-clock event schedules (and
+	// keeps small instances from finishing before online events arrive).
+	Throttle time.Duration
+}
+
+// Run dials the coordinator, executes the assigned task, and returns the
+// final result it reported. It exits when the coordinator sends stop, the
+// iteration cap is reached, or the connection drops.
+func (w Worker) Run(addr string) (Result, error) {
+	if w.ID == "" {
+		return Result{}, errors.New("dist: worker needs an ID")
+	}
+	dialTimeout := w.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	c := newCodec(conn)
+	if err := c.send(MsgHello, Hello{WorkerID: w.ID}); err != nil {
+		return Result{}, err
+	}
+	env, err := c.recv(30 * time.Second)
+	if err != nil {
+		return Result{}, fmt.Errorf("dist: waiting for task: %w", err)
+	}
+	if env.Type != MsgTask {
+		return Result{}, fmt.Errorf("%w: got %s before task", ErrBadTask, env.Type)
+	}
+	task, err := decode[Task](env)
+	if err != nil {
+		return Result{}, err
+	}
+
+	engine, err := core.NewEngine(task.Instance(), core.SEConfig{
+		Beta: task.Beta,
+		Tau:  task.Tau,
+		Seed: task.Seed,
+	})
+	if err != nil {
+		res := Result{WorkerID: w.ID, Err: err.Error()}
+		_ = c.send(MsgResult, res)
+		return res, err
+	}
+
+	// Reader goroutine: forwards control messages; closes on EOF.
+	ctrl := make(chan Envelope, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(ctrl)
+		for {
+			env, err := c.recv(0)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					readErr <- err
+				}
+				return
+			}
+			ctrl <- env
+		}
+	}()
+
+	reportEvery := task.ReportEvery
+	if reportEvery <= 0 {
+		reportEvery = 200
+	}
+	maxIters := task.MaxIterations
+	if maxIters <= 0 {
+		maxIters = 20000
+	}
+
+	stopping := false
+	var applyErr error
+	for iter := 0; iter < maxIters && !stopping; iter++ {
+		engine.Step()
+		if w.Throttle > 0 && (iter+1)%100 == 0 {
+			time.Sleep(w.Throttle)
+		}
+		if (iter+1)%reportEvery == 0 {
+			_, bErr := engine.Best()
+			if err := c.send(MsgProgress, Progress{
+				WorkerID:   w.ID,
+				Iterations: engine.Iterations(),
+				Utility:    engine.BestUtility(),
+				Feasible:   bErr == nil,
+			}); err != nil {
+				break // coordinator gone; finish up
+			}
+		}
+		// Drain control messages without blocking the chain.
+		for drained := false; !drained; {
+			select {
+			case env, ok := <-ctrl:
+				if !ok {
+					stopping = true
+					drained = true
+					break
+				}
+				switch env.Type {
+				case MsgStop:
+					stopping = true
+				case MsgEvent:
+					m, err := decode[EventMsg](env)
+					if err == nil {
+						if ev, err := m.ToEvent(); err == nil {
+							if err := engine.ApplyEvent(ev); err != nil && applyErr == nil {
+								applyErr = err
+							}
+						}
+					}
+				case MsgBest:
+					// Informational; a worker could use it to restart
+					// stuck explorers. The reference implementation just
+					// acknowledges receipt by continuing.
+				}
+			default:
+				drained = true
+			}
+		}
+	}
+
+	res := Result{WorkerID: w.ID, Iterations: engine.Iterations()}
+	if applyErr != nil {
+		res.Err = applyErr.Error()
+	} else if sol, err := engine.Best(); err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Utility = sol.Utility
+		res.Selected = sol.Selected
+	}
+	_ = c.send(MsgResult, res)
+	select {
+	case err := <-readErr:
+		return res, err
+	default:
+	}
+	return res, nil
+}

@@ -1,0 +1,673 @@
+// Package epoch orchestrates the five stages of an Elastico-style epoch
+// (Section I of the paper):
+//
+//  1. Committee formation — PoW election (package pow);
+//  2. Overlay configuration — members discover each other (package overlay);
+//  3. Intra-committee consensus — PBFT over the committee's shard
+//     (package pbft);
+//  4. Final consensus — the final committee permits a subset of the
+//     submitted shards (the MVCom scheduling decision, package core) and
+//     appends a final block to the root chain (package chain);
+//  5. Epoch randomness refreshing — derived while appending the final
+//     block.
+//
+// The pipeline produces exactly the two features the scheduler consumes —
+// per-committee two-phase latency l_i and shard size s_i — plus the full
+// accounting (deadline, throughput, cumulative age) behind Fig. 2 and the
+// trace-driven experiments.
+package epoch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mvcom/internal/chain"
+	"mvcom/internal/core"
+	"mvcom/internal/overlay"
+	"mvcom/internal/pbft"
+	"mvcom/internal/pow"
+	"mvcom/internal/randx"
+	"mvcom/internal/sim"
+	"mvcom/internal/txgen"
+)
+
+// Errors returned by the pipeline.
+var (
+	ErrBadConfig = errors.New("epoch: invalid configuration")
+	ErrNoEpochs  = errors.New("epoch: epochs must be >= 1")
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// Committees is the number of member committees |I_j|. Required.
+	Committees int
+	// CommitteeSize is the number of replicas per committee. Default 16.
+	CommitteeSize int
+	// FaultyPerCommittee is the number of Byzantine replicas per
+	// committee. Default 0; capped at (size-1)/3 by validation.
+	FaultyPerCommittee int
+	// PoW configures stage 1. Default: 600 s mean solve (paper setting).
+	PoW pow.Election
+	// Net configures the overlay model.
+	Net overlay.Config
+	// ConsensusTarget is the expected intra-committee consensus latency;
+	// PBFT's per-step mean is calibrated to hit it. Default 54.5 s (paper
+	// setting).
+	ConsensusTarget time.Duration
+	// PerIdentity is the per-node identity-establishment cost of stage 2:
+	// after PoW, every participant's identity (PoW solution + key) is
+	// exchanged and verified network-wide through the directory, so the
+	// stage costs PerIdentity × total nodes. This is the term that makes
+	// formation latency grow linearly with network size (Fig. 2a).
+	// Default 500 ms.
+	PerIdentity time.Duration
+	// Trace configures the synthetic transaction dataset.
+	Trace txgen.Config
+	// NmaxFraction is the fraction of committees whose arrival closes the
+	// admission window (the paper's Nmax, default 0.8): the deadline t_j
+	// is the arrival time of the ⌈Nmax·|I|⌉-th committee.
+	NmaxFraction float64
+	// FailureRate is the per-epoch probability that a member committee
+	// fails mid-epoch (e.g. a DoS attack). Failed committees are detected
+	// by the final committee's ping probes (Section V) and excluded from
+	// the scheduling instance; their shard is lost for the epoch.
+	FailureRate float64
+	// HashAssignment switches committee formation from solve-order
+	// round-robin to Elastico's identity-bit assignment seeded by the
+	// previous epoch's randomness (stage 5 feeding stage 1).
+	HashAssignment bool
+	// HashPowerDrift multiplies the network's aggregate hash power every
+	// epoch (1.0 = stable; 1.1 = 10% faster miners per epoch). Nonzero
+	// drift models the environment the difficulty retargeter corrects.
+	HashPowerDrift float64
+	// Retarget enables Bitcoin-style difficulty adjustment: after each
+	// epoch the expected solve time is retargeted toward the configured
+	// PoW mean using the observed solve times.
+	Retarget bool
+	// DetailedConsensus runs stage 3 as a message-level PBFT simulation
+	// (real pre-prepare/prepare/commit events over an intra-committee
+	// network calibrated to ConsensusTarget) instead of the analytic
+	// order-statistics model.
+	DetailedConsensus bool
+	// PoolDriven feeds epochs from the trace's arrival process: instead
+	// of re-sharding the entire trace every epoch, committees package
+	// only the blocks whose btime falls inside the epoch's wall-clock
+	// window, so shard sizes follow real demand and quiet epochs produce
+	// small (or empty) shards. Committees with no transactions sit the
+	// epoch out.
+	PoolDriven bool
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Committees < 1 {
+		return c, fmt.Errorf("%w: committees = %d", ErrBadConfig, c.Committees)
+	}
+	if c.CommitteeSize <= 0 {
+		c.CommitteeSize = 16
+	}
+	if c.CommitteeSize < 4 {
+		return c, fmt.Errorf("%w: committee size %d below PBFT minimum 4", ErrBadConfig, c.CommitteeSize)
+	}
+	if maxF := pbft.MaxFaulty(c.CommitteeSize); c.FaultyPerCommittee > maxF {
+		return c, fmt.Errorf("%w: %d faulty replicas exceeds (n-1)/3 = %d",
+			ErrBadConfig, c.FaultyPerCommittee, maxF)
+	}
+	if c.FaultyPerCommittee < 0 {
+		c.FaultyPerCommittee = 0
+	}
+	if c.ConsensusTarget <= 0 {
+		c.ConsensusTarget = pbft.DefaultMeanTotal
+	}
+	if c.PerIdentity <= 0 {
+		c.PerIdentity = 500 * time.Millisecond
+	}
+	if c.NmaxFraction <= 0 || c.NmaxFraction > 1 {
+		c.NmaxFraction = 0.8
+	}
+	if c.FailureRate < 0 || c.FailureRate >= 1 {
+		return c, fmt.Errorf("%w: failure rate %v out of [0,1)", ErrBadConfig, c.FailureRate)
+	}
+	if c.HashPowerDrift == 0 {
+		c.HashPowerDrift = 1
+	}
+	if c.HashPowerDrift <= 0 {
+		return c, fmt.Errorf("%w: hash power drift %v must be positive", ErrBadConfig, c.HashPowerDrift)
+	}
+	return c, nil
+}
+
+// CommitteeReport is one member committee's epoch outcome: the two features
+// the final committee waits for (two-phase latency and shard size) plus
+// the latency breakdown.
+type CommitteeReport struct {
+	Committee int
+	// Formation is the stage-1+2 latency: PoW seat filling plus overlay
+	// configuration.
+	Formation time.Duration
+	// Consensus is the stage-3 PBFT latency.
+	Consensus time.Duration
+	// TwoPhase = Formation + Consensus (l_i).
+	TwoPhase time.Duration
+	// TxCount is the shard size s_i.
+	TxCount int
+	// Arrived reports whether the committee submitted before the
+	// admission window closed (l_i ≤ t_j).
+	Arrived bool
+	// Failed marks a committee that failed mid-epoch (injected).
+	Failed bool
+}
+
+// Result is one epoch's full outcome.
+type Result struct {
+	Epoch   int
+	Reports []CommitteeReport
+	// Live maps the scheduling instance's shard indices back to Reports
+	// indices (failed committees are excluded from the instance).
+	Live []int
+	// DDL is the deadline t_j (seconds since epoch start).
+	DDL float64
+	// Instance is the scheduling input handed to the solver.
+	Instance core.Instance
+	// Solution is the final committee's decision.
+	Solution core.Solution
+	// FinalBlock is the block appended to the root chain.
+	FinalBlock *chain.FinalBlock
+	// Deferred lists committees refused this epoch (stragglers or not
+	// permitted); they re-submit next epoch with reduced latency
+	// (Fig. 3).
+	Deferred []CommitteeReport
+}
+
+// Scheduler decides which submitted shards the final committee permits.
+// core.Solver implementations adapt directly via SolverScheduler.
+type Scheduler interface {
+	Schedule(in core.Instance) (core.Solution, error)
+}
+
+// SolverScheduler adapts any core.Solver into a Scheduler.
+type SolverScheduler struct {
+	Solver core.Solver
+}
+
+// Schedule implements Scheduler.
+func (s SolverScheduler) Schedule(in core.Instance) (core.Solution, error) {
+	sol, _, err := s.Solver.Solve(in)
+	return sol, err
+}
+
+// AcceptAll is the no-scheduling baseline: the final committee waits for
+// every arrived shard and permits as many as fit, largest value first.
+type AcceptAll struct{}
+
+// Schedule implements Scheduler.
+func (AcceptAll) Schedule(in core.Instance) (core.Solution, error) {
+	if err := in.Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	sel := make([]bool, in.NumShards())
+	load := 0
+	for _, i := range in.Arrived() {
+		if load+in.Sizes[i] > in.Capacity {
+			continue
+		}
+		sel[i] = true
+		load += in.Sizes[i]
+	}
+	return core.NewSolution(&in, sel), nil
+}
+
+// Pipeline runs epochs over a shared root chain.
+type Pipeline struct {
+	cfg   Config
+	rng   *randx.RNG
+	chain *chain.RootChain
+	trace *txgen.Trace
+	// pbftStep is the calibrated per-step mean.
+	pbftStep time.Duration
+	// meanSolve is the current difficulty (expected per-node solve time
+	// at nominal hash power); retargeting adjusts it across epochs.
+	meanSolve time.Duration
+	// hashPower is the aggregate mining speed multiplier, drifting by
+	// HashPowerDrift per epoch.
+	hashPower float64
+	// detailedLink is the calibrated intra-committee link latency for the
+	// message-level consensus mode.
+	detailedLink time.Duration
+	// wallClock accumulates epoch deadlines; PoolDriven uses it to drain
+	// the trace's arrival process.
+	wallClock time.Duration
+	// blockCursor indexes the first trace block not yet consumed
+	// (PoolDriven mode).
+	blockCursor int
+	// deferred carries refused committees into the next epoch with
+	// reduced two-phase latency.
+	deferred []CommitteeReport
+	epoch    int
+}
+
+// NewPipeline validates the configuration, generates the transaction
+// trace, and calibrates the PBFT step time to the consensus target.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	step, err := pbft.CalibrateMeanStep(rng.Split(), pbft.Config{
+		Replicas: cfg.CommitteeSize,
+		Faulty:   cfg.FaultyPerCommittee,
+	}, cfg.ConsensusTarget, 400)
+	if err != nil {
+		return nil, fmt.Errorf("calibrate pbft: %w", err)
+	}
+	var detailedLink time.Duration
+	if cfg.DetailedConsensus {
+		detailedLink, err = pbft.CalibrateDetailedLatency(cfg.Seed+1, cfg.CommitteeSize,
+			cfg.FaultyPerCommittee, cfg.ConsensusTarget, 60)
+		if err != nil {
+			return nil, fmt.Errorf("calibrate detailed pbft: %w", err)
+		}
+	}
+	meanSolve := cfg.PoW.MeanSolve
+	if meanSolve <= 0 {
+		meanSolve = 600 * time.Second
+	}
+	return &Pipeline{
+		cfg:          cfg,
+		rng:          rng,
+		chain:        chain.NewRootChain(),
+		trace:        txgen.Generate(rng.Split(), cfg.Trace),
+		pbftStep:     step,
+		meanSolve:    meanSolve,
+		hashPower:    1,
+		detailedLink: detailedLink,
+	}, nil
+}
+
+// Chain exposes the root chain for inspection.
+func (p *Pipeline) Chain() *chain.RootChain { return p.chain }
+
+// Trace exposes the generated transaction trace.
+func (p *Pipeline) Trace() *txgen.Trace { return p.trace }
+
+// RunEpoch executes the five stages once, using sched for the stage-4
+// decision. alpha, capacity, and nmin parameterize the MVCom instance.
+func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) (*Result, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("%w: nil scheduler", ErrBadConfig)
+	}
+	p.epoch++
+	res := &Result{Epoch: p.epoch}
+	engine := sim.NewEngine()
+
+	reports, err := p.memberStages(engine)
+	if err != nil {
+		return nil, err
+	}
+	// Carried-over committees re-submit with their residual latency.
+	reports = append(reports, p.deferred...)
+	p.deferred = nil
+
+	// The admission window closes when ⌈Nmax·count⌉ committees have
+	// submitted; that arrival instant is the deadline t_j.
+	ddl := admissionDeadline(reports, p.cfg.NmaxFraction)
+	res.DDL = ddl.Seconds()
+	for i := range reports {
+		reports[i].Arrived = reports[i].TwoPhase <= ddl
+	}
+	res.Reports = reports
+
+	if p.cfg.PoolDriven {
+		p.assignArrivedBlocks(reports, ddl)
+	}
+
+	// Failed committees (detected via ping, Section V) never make it into
+	// the scheduling instance, and neither do committees whose shard is
+	// empty this epoch; Live maps instance indices to reports.
+	for i, rep := range reports {
+		if !rep.Failed && reports[i].TxCount > 0 {
+			res.Live = append(res.Live, i)
+		}
+	}
+	if len(res.Live) == 0 {
+		if p.cfg.PoolDriven {
+			// A quiet window: no transactions arrived, so the final
+			// committee appends an empty block and the epoch ends.
+			fb, aErr := p.chain.Append(p.epoch, engine.Now()+ddl, nil)
+			if aErr != nil {
+				return nil, fmt.Errorf("epoch %d empty block: %w", p.epoch, aErr)
+			}
+			res.FinalBlock = fb
+			return res, nil
+		}
+		return nil, fmt.Errorf("epoch %d: every committee failed", p.epoch)
+	}
+	in := core.Instance{
+		Sizes:     make([]int, len(res.Live)),
+		Latencies: make([]float64, len(res.Live)),
+		DDL:       res.DDL,
+		Alpha:     alpha,
+		Capacity:  capacity,
+		Nmin:      nmin,
+	}
+	for li, ri := range res.Live {
+		in.Sizes[li] = reports[ri].TxCount
+		in.Latencies[li] = reports[ri].TwoPhase.Seconds()
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("epoch %d instance: %w", p.epoch, err)
+	}
+	res.Instance = in.Clone()
+
+	sol, err := sched.Schedule(in.Clone())
+	if err != nil {
+		return nil, fmt.Errorf("epoch %d schedule: %w", p.epoch, err)
+	}
+	res.Solution = sol
+
+	// Stage 4+5: assemble the final block from permitted shards and
+	// append it (randomness refresh happens inside Append). Refused
+	// committees defer to the next epoch with reduced latency (Fig. 3):
+	// l' = max(l − t_j, 0) plus a fresh consensus round.
+	var shards []*chain.ShardBlock
+	for li, ri := range res.Live {
+		rep := reports[ri]
+		if li < len(sol.Selected) && sol.Selected[li] {
+			sb, sbErr := chain.NewShardHeader(rep.Committee, p.epoch, rep.TwoPhase, p.shardRoot(rep), rep.TxCount)
+			if sbErr != nil {
+				return nil, fmt.Errorf("epoch %d shard header: %w", p.epoch, sbErr)
+			}
+			shards = append(shards, sb)
+			continue
+		}
+		carried := rep
+		residual := rep.TwoPhase - ddl
+		if residual < 0 {
+			residual = 0
+		}
+		carried.TwoPhase = residual
+		carried.Formation = residual
+		carried.Consensus = 0
+		res.Deferred = append(res.Deferred, carried)
+	}
+	p.deferred = append(p.deferred, res.Deferred...)
+
+	fb, err := p.chain.Append(p.epoch, engine.Now()+ddl, shards)
+	if err != nil {
+		return nil, fmt.Errorf("epoch %d final block: %w", p.epoch, err)
+	}
+	res.FinalBlock = fb
+	return res, nil
+}
+
+// Measure runs stages 1–3 only and returns the per-committee reports with
+// the would-be deadline — the measurement behind Fig. 2 (two-phase latency
+// versus network size, and the latency CDFs).
+func (p *Pipeline) Measure() ([]CommitteeReport, float64, error) {
+	engine := sim.NewEngine()
+	reports, err := p.memberStages(engine)
+	if err != nil {
+		return nil, 0, err
+	}
+	ddl := admissionDeadline(reports, p.cfg.NmaxFraction)
+	for i := range reports {
+		reports[i].Arrived = reports[i].TwoPhase <= ddl
+	}
+	return reports, ddl.Seconds(), nil
+}
+
+// memberStages simulates stages 1–3 for every member committee on the
+// discrete-event engine and returns their reports.
+func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
+	cfg := p.cfg
+	nodes := cfg.Committees * cfg.CommitteeSize
+	// Miners drift in speed epoch over epoch; the effective solve time is
+	// the current difficulty divided by the aggregate hash power.
+	p.hashPower *= cfg.HashPowerDrift
+	election := cfg.PoW
+	election.MeanSolve = time.Duration(float64(p.meanSolve) / p.hashPower)
+	if election.MeanSolve <= 0 {
+		election.MeanSolve = time.Nanosecond
+	}
+	solvers, err := election.Run(p.rng.Split(), nodes)
+	if err != nil {
+		return nil, fmt.Errorf("pow election: %w", err)
+	}
+	if cfg.Retarget {
+		target := cfg.PoW.MeanSolve
+		if target <= 0 {
+			target = 600 * time.Second
+		}
+		rt := pow.Retargeter{Target: target}
+		if next, rErr := rt.AdjustFromSolvers(p.meanSolve, solvers); rErr == nil {
+			p.meanSolve = next
+		}
+	}
+	var committees []pow.Committee
+	if cfg.HashAssignment {
+		// Stage 5 feeds stage 1: the previous epoch's randomness seeds
+		// the identity-bit committee assignment.
+		committees, err = pow.AssignByHash(p.chain.TipHash(), solvers, cfg.Committees, cfg.CommitteeSize)
+	} else {
+		committees, err = pow.FormCommittees(solvers, cfg.Committees, cfg.CommitteeSize)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("form committees: %w", err)
+	}
+	net, err := overlay.NewNetwork(p.rng.Split(), nodes, cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: %w", err)
+	}
+	shards, err := p.trace.IntoShards(p.rng.Split(), cfg.Committees)
+	if err != nil {
+		return nil, fmt.Errorf("shard trace: %w", err)
+	}
+
+	reports := make([]CommitteeReport, cfg.Committees)
+	pbftRNG := p.rng.Split()
+	// Stage 2's network-wide identity establishment: every node's PoW
+	// solution and key are verified through the directory, costing
+	// PerIdentity per participant regardless of committee.
+	identityLatency := time.Duration(nodes) * cfg.PerIdentity
+	done := 0
+	for ci := range committees {
+		ci := ci
+		com := committees[ci]
+		// Stage 1 finishes when the committee's last seat fills; stages 2
+		// and 3 are scheduled as events on the virtual clock.
+		if _, err := engine.ScheduleAt(com.FormedAt, func(now time.Duration) {
+			cfgLatency, cErr := net.ConfigureOverlay(com.Members, 0)
+			if cErr != nil {
+				cfgLatency = 0
+			}
+			cfgLatency += identityLatency
+			total := p.consensusLatency(pbftRNG)
+			reports[ci] = CommitteeReport{
+				Committee: com.ID,
+				Formation: now + cfgLatency,
+				Consensus: total,
+				TwoPhase:  now + cfgLatency + total,
+				TxCount:   shards[ci].TxTotal,
+			}
+			done++
+		}); err != nil {
+			return nil, err
+		}
+	}
+	engine.Run(0)
+	if done != cfg.Committees {
+		return nil, fmt.Errorf("epoch: only %d of %d committees completed", done, cfg.Committees)
+	}
+	if cfg.FailureRate > 0 {
+		p.injectFailures(net, committees, reports)
+	}
+	return reports, nil
+}
+
+// assignArrivedBlocks implements the PoolDriven sizing: the epoch's
+// wall-clock window [wallClock, wallClock+ddl) drains the trace blocks
+// that arrived in it, round-robin across this epoch's new committees
+// (deferred committees keep the shard they already packaged). Committees
+// left without blocks report an empty shard.
+func (p *Pipeline) assignArrivedBlocks(reports []CommitteeReport, ddl time.Duration) {
+	end := p.wallClock + ddl
+	var drained []txgen.Block
+	for p.blockCursor < len(p.trace.Blocks) && p.trace.Blocks[p.blockCursor].BTime <= end {
+		drained = append(drained, p.trace.Blocks[p.blockCursor])
+		p.blockCursor++
+	}
+	p.wallClock = end
+	fresh := reports[:p.cfg.Committees] // deferred entries follow the new ones
+	for i := range fresh {
+		fresh[i].TxCount = 0
+	}
+	for i, b := range drained {
+		fresh[i%len(fresh)].TxCount += b.Txs
+	}
+}
+
+// consensusLatency runs stage 3 for one committee: the analytic
+// order-statistics model by default, or a message-level PBFT instance on
+// a fresh intra-committee network when DetailedConsensus is set. Failures
+// inside consensus degrade to a zero-latency report rather than aborting
+// the epoch (the committee simply submits very late or not at all, which
+// the deadline handles).
+func (p *Pipeline) consensusLatency(rng *randx.RNG) time.Duration {
+	cfg := p.cfg
+	if cfg.DetailedConsensus {
+		members := make([]int, cfg.CommitteeSize)
+		for i := range members {
+			members[i] = i
+		}
+		bad := make(map[int]bool, cfg.FaultyPerCommittee)
+		for i := 1; i <= cfg.FaultyPerCommittee && i < cfg.CommitteeSize; i++ {
+			bad[i] = true
+		}
+		net, err := overlay.NewNetwork(rng.Split(), cfg.CommitteeSize, overlay.Config{
+			MeanLatency: p.detailedLink,
+		})
+		if err != nil {
+			return 0
+		}
+		res, err := pbft.RunDetailed(sim.NewEngine(), net, pbft.DetailedConfig{
+			Replicas:        members,
+			Faulty:          bad,
+			ProcessingDelay: time.Microsecond,
+		})
+		if err != nil {
+			return 0
+		}
+		return res.ConsensusAt
+	}
+	consensus, err := pbft.Run(rng, pbft.Config{
+		Replicas: cfg.CommitteeSize,
+		Faulty:   cfg.FaultyPerCommittee,
+		MeanStep: p.pbftStep,
+	})
+	if err != nil {
+		return 0
+	}
+	return consensus.Total
+}
+
+// injectFailures fails committees with the configured probability and has
+// the final committee confirm each failure through ping probes (the
+// Section V detection path: "the final committee can perceive a failed
+// member committee by using the ping network protocol").
+func (p *Pipeline) injectFailures(net *overlay.Network, committees []pow.Committee, reports []CommitteeReport) {
+	failing := make([]bool, len(committees))
+	anyLive := false
+	for ci := range committees {
+		failing[ci] = p.rng.Bool(p.cfg.FailureRate)
+		if !failing[ci] {
+			anyLive = true
+		}
+	}
+	if !anyLive {
+		// Keep at least one committee alive so the epoch can proceed.
+		failing[0] = false
+	}
+	// The final committee's observer node sits in a live committee.
+	observer := -1
+	for ci := range committees {
+		if !failing[ci] && len(committees[ci].Members) > 0 {
+			observer = committees[ci].Members[0]
+			break
+		}
+	}
+	for ci := range committees {
+		if !failing[ci] || len(committees[ci].Members) == 0 {
+			continue
+		}
+		leader := committees[ci].Members[0]
+		if err := net.Fail(leader); err != nil {
+			continue
+		}
+		confirmed := true
+		if observer >= 0 {
+			det, err := overlay.NewDetector(net, observer, 0, 3)
+			if err == nil {
+				confirmed = false
+				for probe := 0; probe < 3; probe++ {
+					if det.Probe(leader) {
+						confirmed = true
+					}
+				}
+			}
+		}
+		reports[ci].Failed = confirmed
+	}
+}
+
+// RunEpochs runs n consecutive epochs with the same scheduler and instance
+// parameters, returning every epoch's result.
+func (p *Pipeline) RunEpochs(n int, sched Scheduler, alpha float64, capacity, nmin int) ([]*Result, error) {
+	if n < 1 {
+		return nil, ErrNoEpochs
+	}
+	out := make([]*Result, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := p.RunEpoch(sched, alpha, capacity, nmin)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// shardRoot derives a header-only Merkle commitment for a shard from the
+// committee identity and epoch (full transaction materialization is
+// reserved for the examples; see chain.ShardBlock header-only semantics).
+func (p *Pipeline) shardRoot(rep CommitteeReport) chain.Hash {
+	tx := chain.Transaction{
+		ID:     uint64(rep.Committee)<<32 | uint64(p.epoch),
+		Amount: uint64(rep.TxCount),
+	}
+	return tx.Hash()
+}
+
+// admissionDeadline returns the arrival time of the ⌈fraction·n⌉-th
+// committee (ascending two-phase latency).
+func admissionDeadline(reports []CommitteeReport, fraction float64) time.Duration {
+	if len(reports) == 0 {
+		return 0
+	}
+	lat := make([]time.Duration, len(reports))
+	for i, r := range reports {
+		lat[i] = r.TwoPhase
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(fraction*float64(len(lat))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}

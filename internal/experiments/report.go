@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report runs the given figures (all registered ones when ids is empty)
+// and writes a self-contained markdown summary: per-figure notes plus the
+// final value of every series. cmd/mvcom-bench surfaces this as -report.
+func Report(w io.Writer, opts Options, ids []string) error {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# MVCom figure report\n\n")
+	fmt.Fprintf(w, "seed %d, scale %g — every value below regenerates bit-for-bit with\n", opts.Seed, opts.Scale)
+	fmt.Fprintf(w, "`mvcom-bench -fig all -seed %d -scale %g`.\n", opts.Seed, opts.Scale)
+	for _, id := range ids {
+		start := time.Now()
+		res, err := Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		fmt.Fprintf(w, "\n## Fig. %s — %s\n\n", res.ID, res.Title)
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "- %s\n", n)
+		}
+		if len(res.Notes) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "| series | final %s (at %s) |\n|---|---|\n", res.YLabel, res.XLabel)
+		for _, s := range res.Series {
+			if len(s.Y) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "| %s | %.4g (at %.4g) |\n", s.Label, s.Y[len(s.Y)-1], s.X[len(s.X)-1])
+		}
+		fmt.Fprintf(w, "\n_%d series, generated in %s_\n", len(res.Series), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mvcom/internal/core"
+)
+
+func tracePoints(pairs ...float64) []core.TracePoint {
+	out := make([]core.TracePoint, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, core.TracePoint{Iteration: int(pairs[i]), Utility: pairs[i+1]})
+	}
+	return out
+}
+
+func TestConvergedUtility(t *testing.T) {
+	got, err := ConvergedUtility(tracePoints(1, 10, 5, 30))
+	if err != nil || got != 30 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	if _, err := ConvergedUtility(nil); err != ErrNoTrace {
+		t.Fatal("want ErrNoTrace")
+	}
+}
+
+func TestConvergenceIteration(t *testing.T) {
+	tr := tracePoints(1, 10, 50, 80, 200, 100)
+	it, err := ConvergenceIteration(tr, 0.8)
+	if err != nil || it != 50 {
+		t.Fatalf("it %v err %v", it, err)
+	}
+	it, err = ConvergenceIteration(tr, 1.0)
+	if err != nil || it != 200 {
+		t.Fatalf("it %v err %v", it, err)
+	}
+	if _, err := ConvergenceIteration(tr, 0); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, err := ConvergenceIteration(tr, 1.5); err == nil {
+		t.Fatal("fraction >1 accepted")
+	}
+	if _, err := ConvergenceIteration(nil, 0.5); err != ErrNoTrace {
+		t.Fatal("want ErrNoTrace")
+	}
+}
+
+func TestConvergenceIterationNegativeUtility(t *testing.T) {
+	tr := tracePoints(1, -100, 10, -50)
+	it, err := ConvergenceIteration(tr, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target is -50/0.9 ≈ -55.6; first point reaching ≥ -55.6 is iter 10.
+	if it != 10 {
+		t.Fatalf("it %v", it)
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := tracePoints(5, 10, 20, 40, 100, 90)
+	got, err := Resample(tr, []int{0, 5, 10, 20, 50, 100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 10, 10, 40, 40, 90, 90}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grid point %d: got %v want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample(nil, []int{1}); err != ErrNoTrace {
+		t.Fatal("want ErrNoTrace")
+	}
+	if _, err := Resample(tracePoints(1, 1), []int{5, 2}); err == nil {
+		t.Fatal("unsorted grid accepted")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(100, 5)
+	want := []int{0, 25, 50, 75, 100}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("grid %v", g)
+		}
+	}
+	if g := Grid(10, 1); len(g) != 2 {
+		t.Fatalf("points clamp failed: %v", g)
+	}
+	if g := Grid(0, 3); g[len(g)-1] != 1 {
+		t.Fatalf("maxIter clamp failed: %v", g)
+	}
+}
+
+func TestMeanCurve(t *testing.T) {
+	got, err := MeanCurve([][]float64{{1, 2, 3}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mean curve %v", got)
+		}
+	}
+	if _, err := MeanCurve(nil); err != ErrNoTrace {
+		t.Fatal("want ErrNoTrace")
+	}
+	if _, err := MeanCurve([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func testInstance() core.Instance {
+	in := core.Instance{
+		Sizes:     []int{100, 200, 300},
+		Latencies: []float64{700, 900, 1000},
+		Alpha:     1.5,
+		Capacity:  450,
+		Nmin:      1,
+	}
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestValuableDegree(t *testing.T) {
+	in := testInstance()
+	sol := core.NewSolution(&in, []bool{true, true, false})
+	got := ValuableDegree(&in, sol)
+	want := 100.0/300.0 + 200.0/100.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VD %v, want %v", got, want)
+	}
+}
+
+func TestOutcome(t *testing.T) {
+	in := testInstance()
+	sol := core.NewSolution(&in, []bool{true, false, true})
+	o := Outcome(3, &in, sol)
+	if o.Epoch != 3 || o.PermittedTxs != 400 || o.CommitteeCount != 2 {
+		t.Fatalf("outcome %+v", o)
+	}
+	if o.ArrivedTxs != 600 {
+		t.Fatalf("arrived %d", o.ArrivedTxs)
+	}
+	if math.Abs(o.CumulativeAge-300) > 1e-9 { // ages 300 + 0
+		t.Fatalf("age %v", o.CumulativeAge)
+	}
+	if o.DDL != 1000 {
+		t.Fatalf("ddl %v", o.DDL)
+	}
+	if math.Abs(o.Throughput()-0.4) > 1e-9 {
+		t.Fatalf("throughput %v", o.Throughput())
+	}
+	if math.Abs(o.MeanAge()-150) > 1e-9 {
+		t.Fatalf("mean age %v", o.MeanAge())
+	}
+}
+
+func TestOutcomeZeroDivisionGuards(t *testing.T) {
+	var o EpochOutcome
+	if o.Throughput() != 0 || o.MeanAge() != 0 {
+		t.Fatal("zero outcome should not divide by zero")
+	}
+}
+
+func TestAggregateOutcomes(t *testing.T) {
+	in := testInstance()
+	o1 := Outcome(1, &in, core.NewSolution(&in, []bool{true, true, false}))
+	o2 := Outcome(2, &in, core.NewSolution(&in, []bool{false, false, true}))
+	agg := AggregateOutcomes([]EpochOutcome{o1, o2})
+	if agg.Epochs != 2 {
+		t.Fatalf("epochs %d", agg.Epochs)
+	}
+	if agg.TotalTxs != 300+300 {
+		t.Fatalf("total txs %d", agg.TotalTxs)
+	}
+	wantRate := (300.0/600.0 + 300.0/600.0) / 2
+	if math.Abs(agg.MeanPermitRate-wantRate) > 1e-9 {
+		t.Fatalf("permit rate %v", agg.MeanPermitRate)
+	}
+	empty := AggregateOutcomes(nil)
+	if empty.Epochs != 0 || empty.MeanPermitRate != 0 {
+		t.Fatal("empty aggregate wrong")
+	}
+}
+
+func TestWriteTraceTSV(t *testing.T) {
+	var buf strings.Builder
+	tr := tracePoints(1, 10, 5, 30)
+	if err := WriteTraceTSV(&buf, "SE", tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# SE") || !strings.Contains(out, "5\t30") {
+		t.Fatalf("tsv %q", out)
+	}
+	if err := WriteTraceTSV(&buf, "x", nil); err != ErrNoTrace {
+		t.Fatal("want ErrNoTrace")
+	}
+}

@@ -1,0 +1,301 @@
+package pbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mvcom/internal/overlay"
+	"mvcom/internal/randx"
+	"mvcom/internal/sim"
+)
+
+// randxNew isolates the randx dependency for calibration seeding.
+func randxNew(seed int64) *randx.RNG { return randx.New(seed) }
+
+// Detailed-simulation errors.
+var (
+	ErrNoQuorum = errors.New("pbft: consensus did not reach a commit quorum")
+	ErrBadInput = errors.New("pbft: invalid detailed-run input")
+)
+
+// DetailedConfig parameterizes a message-level PBFT run: real
+// pre-prepare/prepare/commit messages travel over an overlay.Network and
+// are processed as discrete events. Where Run models phase latencies with
+// order statistics, RunDetailed executes the protocol itself — useful for
+// validating the analytic model and for failure studies where *which*
+// replica is faulty matters.
+type DetailedConfig struct {
+	// Replicas is the committee membership (node ids in the overlay
+	// network). Minimum 4.
+	Replicas []int
+	// Faulty marks Byzantine replicas by position in Replicas; faulty
+	// replicas never send messages (fail-silent).
+	Faulty map[int]bool
+	// Primary is the position of the initial primary in Replicas.
+	// Default 0.
+	Primary int
+	// ProcessingDelay is the local compute cost added before each send.
+	// Default 5 ms.
+	ProcessingDelay time.Duration
+	// Equivocate makes the primary Byzantine in the classic way: it
+	// sends pre-prepares for digest A to half the replicas and digest B
+	// to the other half. The primary then counts against the f budget.
+	// PBFT's quorum intersection guarantees that at most one digest can
+	// ever commit; RunDetailed surfaces which (if any) did.
+	Equivocate bool
+}
+
+// DetailedResult reports the outcome of a message-level run.
+type DetailedResult struct {
+	// Committed maps replica position → virtual time its commit quorum
+	// completed. Only correct replicas appear.
+	Committed map[int]time.Duration
+	// Digest maps replica position → the digest label it committed (0 or
+	// 1; only 1 under an equivocating primary).
+	Digest map[int]byte
+	// ConsensusAt is the instant the quorum-th correct replica committed
+	// — the committee's consensus latency.
+	ConsensusAt time.Duration
+	// Messages counts every protocol message delivered.
+	Messages int
+}
+
+// phase message kinds.
+type msgKind int
+
+const (
+	msgPrePrepare msgKind = iota + 1
+	msgPrepare
+	msgCommit
+)
+
+// replicaState tracks one replica's quorum progress. Prepare and commit
+// votes are buffered per digest so that messages racing ahead of the
+// replica's own pre-prepare are not lost.
+type replicaState struct {
+	prePrepared  bool
+	digest       byte // digest accepted at pre-prepare
+	prepareFrom  map[byte]map[int]bool
+	commitFrom   map[byte]map[int]bool
+	sentPrepare  bool
+	sentCommit   bool
+	committedAt  time.Duration
+	hasCommitted bool
+}
+
+func (st *replicaState) votes(m map[byte]map[int]bool, digest byte) map[int]bool {
+	if m[digest] == nil {
+		m[digest] = make(map[int]bool)
+	}
+	return m[digest]
+}
+
+// RunDetailed executes one message-level PBFT instance on the given
+// engine and network. It returns ErrNoQuorum when message loss or
+// failures leave the protocol short of 2f+1 commits.
+func RunDetailed(engine *sim.Engine, net *overlay.Network, cfg DetailedConfig) (DetailedResult, error) {
+	n := len(cfg.Replicas)
+	if n < 4 {
+		return DetailedResult{}, fmt.Errorf("%w: %d replicas", ErrTooSmall, n)
+	}
+	if engine == nil || net == nil {
+		return DetailedResult{}, fmt.Errorf("%w: nil engine or network", ErrBadInput)
+	}
+	if cfg.Primary < 0 || cfg.Primary >= n {
+		return DetailedResult{}, fmt.Errorf("%w: primary %d", ErrBadInput, cfg.Primary)
+	}
+	f := MaxFaulty(n)
+	nFaulty := 0
+	for pos, bad := range cfg.Faulty {
+		if bad {
+			if pos < 0 || pos >= n {
+				return DetailedResult{}, fmt.Errorf("%w: faulty position %d", ErrBadInput, pos)
+			}
+			nFaulty++
+		}
+	}
+	if cfg.Equivocate && !cfg.Faulty[cfg.Primary] {
+		nFaulty++ // an equivocating primary is Byzantine
+	}
+	if nFaulty > f {
+		return DetailedResult{}, fmt.Errorf("%w: %d faulty > f=%d", ErrTooFaulty, nFaulty, f)
+	}
+	if cfg.Faulty[cfg.Primary] && !cfg.Equivocate {
+		return DetailedResult{}, fmt.Errorf("%w: fail-silent primary (use RunDetailedWithViewChange)", ErrBadInput)
+	}
+	proc := cfg.ProcessingDelay
+	if proc <= 0 {
+		proc = 5 * time.Millisecond
+	}
+	quorum := 2*f + 1
+
+	states := make([]replicaState, n)
+	for i := range states {
+		states[i].prepareFrom = make(map[byte]map[int]bool, 2)
+		states[i].commitFrom = make(map[byte]map[int]bool, 2)
+	}
+	res := DetailedResult{
+		Committed: make(map[int]time.Duration, n),
+		Digest:    make(map[int]byte, n),
+	}
+
+	// deliver schedules a message event from replica src to replica dst.
+	// Every message carries the digest it refers to; replicas ignore
+	// traffic for digests they did not accept at pre-prepare.
+	var deliver func(src, dst int, kind msgKind, digest byte)
+	var onMessage func(dst, src int, kind msgKind, digest byte, now time.Duration)
+
+	deliver = func(src, dst int, kind msgKind, digest byte) {
+		delay, ok := net.Delay(cfg.Replicas[src], cfg.Replicas[dst])
+		if !ok {
+			return // lost or endpoint failed
+		}
+		_, _ = engine.Schedule(proc+delay, func(now time.Duration) {
+			res.Messages++
+			onMessage(dst, src, kind, digest, now)
+		})
+	}
+	broadcast := func(src int, kind msgKind, digest byte) {
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			deliver(src, dst, kind, digest)
+		}
+	}
+
+	onMessage = func(dst, src int, kind msgKind, digest byte, now time.Duration) {
+		if cfg.Faulty[dst] {
+			return // fail-silent replicas ignore everything
+		}
+		st := &states[dst]
+		switch kind {
+		case msgPrePrepare:
+			if st.prePrepared {
+				return // first pre-prepare wins; conflicting ones ignored
+			}
+			st.prePrepared = true
+			st.digest = digest
+			// Accepting the pre-prepare counts as the primary's prepare.
+			st.votes(st.prepareFrom, digest)[cfg.Primary] = true
+			if !st.sentPrepare {
+				st.sentPrepare = true
+				st.votes(st.prepareFrom, digest)[dst] = true
+				broadcast(dst, msgPrepare, digest)
+			}
+		case msgPrepare:
+			st.votes(st.prepareFrom, digest)[src] = true
+		case msgCommit:
+			st.votes(st.commitFrom, digest)[src] = true
+		}
+		// Prepared predicate: pre-prepare plus 2f prepares for the
+		// accepted digest (counting our own) → send commit.
+		if st.prePrepared && !st.sentCommit && len(st.votes(st.prepareFrom, st.digest)) >= quorum-1 {
+			st.sentCommit = true
+			st.votes(st.commitFrom, st.digest)[dst] = true
+			broadcast(dst, msgCommit, st.digest)
+		}
+		// Committed predicate: 2f+1 commits for the accepted digest
+		// (counting our own).
+		if st.sentCommit && !st.hasCommitted && len(st.votes(st.commitFrom, st.digest)) >= quorum {
+			st.hasCommitted = true
+			st.committedAt = now
+			res.Committed[dst] = now
+			res.Digest[dst] = st.digest
+		}
+	}
+
+	// Kick off. An honest primary pre-prepares one digest to everyone and
+	// is immediately prepared itself; an equivocating primary splits the
+	// committee between two digests and never commits anything itself.
+	primary := cfg.Primary
+	if cfg.Equivocate {
+		for dst := 0; dst < n; dst++ {
+			if dst == primary {
+				continue
+			}
+			deliver(primary, dst, msgPrePrepare, byte(dst%2))
+		}
+	} else {
+		states[primary].prePrepared = true
+		states[primary].sentPrepare = true
+		states[primary].votes(states[primary].prepareFrom, 0)[primary] = true
+		broadcast(primary, msgPrePrepare, 0)
+	}
+
+	engine.Run(0)
+
+	if len(res.Committed) < quorum {
+		if cfg.Equivocate {
+			// Under equivocation, failing to commit anything is a safe
+			// outcome; report it without inventing a latency.
+			return res, fmt.Errorf("%w: %d of %d commits (equivocating primary)", ErrNoQuorum, len(res.Committed), quorum)
+		}
+		return res, fmt.Errorf("%w: %d of %d commits", ErrNoQuorum, len(res.Committed), quorum)
+	}
+	// Consensus completes when the quorum-th replica commits.
+	times := make([]time.Duration, 0, len(res.Committed))
+	for _, at := range res.Committed {
+		times = append(times, at)
+	}
+	sortDurationsAsc(times)
+	res.ConsensusAt = times[quorum-1]
+	return res, nil
+}
+
+func sortDurationsAsc(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// CalibrateDetailedLatency returns the overlay mean link latency that
+// makes the expected message-level consensus latency of an n-replica
+// committee equal targetTotal. Like CalibrateMeanStep, it exploits
+// linearity: all link delays scale with the configured mean (the fixed
+// processing delay is kept negligible), so a pilot at 1 s measures the
+// scale factor.
+func CalibrateDetailedLatency(seed int64, replicas, faulty int, targetTotal time.Duration, samples int) (time.Duration, error) {
+	if replicas < 4 {
+		return 0, ErrTooSmall
+	}
+	if targetTotal <= 0 {
+		return 0, errors.New("pbft: non-positive calibration target")
+	}
+	if samples < 1 {
+		samples = 50
+	}
+	members := make([]int, replicas)
+	for i := range members {
+		members[i] = i
+	}
+	bad := make(map[int]bool, faulty)
+	for i := 1; i <= faulty && i < replicas; i++ {
+		bad[i] = true
+	}
+	var sum float64
+	for s := 0; s < samples; s++ {
+		net, err := overlayNetworkForCalibration(seed+int64(s), replicas)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunDetailed(sim.NewEngine(), net, DetailedConfig{
+			Replicas:        members,
+			Faulty:          bad,
+			ProcessingDelay: time.Microsecond, // negligible against 1 s links
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum += res.ConsensusAt.Seconds()
+	}
+	perUnit := sum / float64(samples) // seconds of consensus per second of link mean
+	return time.Duration(targetTotal.Seconds() / perUnit * float64(time.Second)), nil
+}
+
+func overlayNetworkForCalibration(seed int64, n int) (*overlay.Network, error) {
+	return overlay.NewNetwork(randxNew(seed), n, overlay.Config{MeanLatency: time.Second})
+}

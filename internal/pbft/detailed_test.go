@@ -1,0 +1,301 @@
+package pbft
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mvcom/internal/overlay"
+	"mvcom/internal/randx"
+	"mvcom/internal/sim"
+)
+
+func detailedSetup(t *testing.T, n int, netCfg overlay.Config) (*sim.Engine, *overlay.Network, []int) {
+	t.Helper()
+	net, err := overlay.NewNetwork(randx.New(1), n, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return sim.NewEngine(), net, members
+}
+
+func TestRunDetailedAllCorrect(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{})
+	res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every correct replica commits.
+	if len(res.Committed) != 7 {
+		t.Fatalf("committed %d of 7", len(res.Committed))
+	}
+	if res.ConsensusAt <= 0 {
+		t.Fatalf("consensus at %v", res.ConsensusAt)
+	}
+	// PBFT is O(n²) messages: with n=7 expect well over 2n.
+	if res.Messages < 7*6 {
+		t.Fatalf("only %d messages delivered", res.Messages)
+	}
+}
+
+func TestRunDetailedToleratesFFaulty(t *testing.T) {
+	engine, net, members := detailedSetup(t, 10, overlay.Config{})
+	f := MaxFaulty(10)
+	faulty := make(map[int]bool)
+	for i := 1; i <= f; i++ {
+		faulty[i] = true
+	}
+	res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Faulty: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) != 10-f {
+		t.Fatalf("committed %d, want all %d correct replicas", len(res.Committed), 10-f)
+	}
+	for pos := range faulty {
+		if _, ok := res.Committed[pos]; ok {
+			t.Fatalf("faulty replica %d committed", pos)
+		}
+	}
+}
+
+func TestRunDetailedFaultySlowsConsensus(t *testing.T) {
+	latency := func(nFaulty int) time.Duration {
+		engine, net, members := detailedSetup(t, 13, overlay.Config{})
+		faulty := make(map[int]bool)
+		for i := 1; i <= nFaulty; i++ {
+			faulty[i] = true
+		}
+		res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Faulty: faulty})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ConsensusAt
+	}
+	healthy := latency(0)
+	degraded := latency(4)
+	if degraded <= healthy {
+		t.Fatalf("faulty replicas did not slow the quorum: %v vs %v", healthy, degraded)
+	}
+}
+
+func TestRunDetailedErrors(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{})
+	if _, err := RunDetailed(engine, net, DetailedConfig{Replicas: members[:3]}); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("small committee: %v", err)
+	}
+	if _, err := RunDetailed(nil, net, DetailedConfig{Replicas: members}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil engine: %v", err)
+	}
+	if _, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Primary: 99}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad primary: %v", err)
+	}
+	tooMany := map[int]bool{1: true, 2: true, 3: true}
+	if _, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Faulty: tooMany}); !errors.Is(err, ErrTooFaulty) {
+		t.Fatalf("too many faulty: %v", err)
+	}
+	if _, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Faulty: map[int]bool{0: true}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("faulty primary: %v", err)
+	}
+	if _, err := RunDetailed(engine, net, DetailedConfig{Replicas: members, Faulty: map[int]bool{99: true}}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("faulty position out of range: %v", err)
+	}
+}
+
+func TestRunDetailedMessageLossNoQuorum(t *testing.T) {
+	// With near-total message loss the protocol cannot complete.
+	engine, net, members := detailedSetup(t, 7, overlay.Config{LossRate: 0.98})
+	_, err := RunDetailed(engine, net, DetailedConfig{Replicas: members})
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestRunDetailedSurvivesModerateLoss(t *testing.T) {
+	// 5% loss: prepares/commits are redundant enough for the quorum to
+	// complete anyway.
+	engine, net, members := detailedSetup(t, 10, overlay.Config{LossRate: 0.05})
+	res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) < QuorumSize(MaxFaulty(10)) {
+		t.Fatalf("committed %d", len(res.Committed))
+	}
+}
+
+func TestRunDetailedLatencyScalesWithNetwork(t *testing.T) {
+	run := func(mean time.Duration) time.Duration {
+		engine, net, members := detailedSetup(t, 7, overlay.Config{MeanLatency: mean})
+		res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ConsensusAt
+	}
+	fast := run(10 * time.Millisecond)
+	slow := run(1 * time.Second)
+	if slow <= fast {
+		t.Fatalf("consensus latency ignores network latency: %v vs %v", fast, slow)
+	}
+}
+
+func TestRunDetailedAgreesWithAnalyticOrder(t *testing.T) {
+	// The analytic Run and the message-level RunDetailed should land in
+	// the same order of magnitude when calibrated to the same per-step
+	// delay scale: three sequential quorum phases of ~mean-latency steps.
+	const meanNet = 100 * time.Millisecond
+	var detailedSum time.Duration
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		net, err := overlay.NewNetwork(randx.New(int64(i)), 7, overlay.Config{MeanLatency: meanNet})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := []int{0, 1, 2, 3, 4, 5, 6}
+		res, err := RunDetailed(sim.NewEngine(), net, DetailedConfig{Replicas: members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		detailedSum += res.ConsensusAt
+	}
+	detailedMean := detailedSum / trials
+	// Three phases of ~1 RTT each plus processing: expect between 1× and
+	// 30× the single-link mean.
+	if detailedMean < meanNet || detailedMean > 30*meanNet {
+		t.Fatalf("detailed consensus mean %v implausible for %v links", detailedMean, meanNet)
+	}
+}
+
+func TestCalibrateDetailedLatency(t *testing.T) {
+	target := DefaultMeanTotal
+	mean, err := CalibrateDetailedLatency(1, 8, 2, target, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 {
+		t.Fatalf("calibrated mean %v", mean)
+	}
+	// Verify: running with the calibrated link mean lands near the target.
+	members := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	bad := map[int]bool{1: true, 2: true}
+	var sum time.Duration
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		net, err := overlay.NewNetwork(randx.New(int64(1000+i)), 8, overlay.Config{MeanLatency: mean})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunDetailed(sim.NewEngine(), net, DetailedConfig{
+			Replicas: members, Faulty: bad, ProcessingDelay: time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.ConsensusAt
+	}
+	got := (sum / trials).Seconds()
+	want := target.Seconds()
+	if got < 0.75*want || got > 1.25*want {
+		t.Fatalf("calibrated consensus mean %.1f s, want ~%.1f", got, want)
+	}
+}
+
+func TestCalibrateDetailedLatencyErrors(t *testing.T) {
+	if _, err := CalibrateDetailedLatency(1, 3, 0, time.Second, 5); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := CalibrateDetailedLatency(1, 8, 0, 0, 5); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}
+
+func TestEquivocatingPrimarySafety(t *testing.T) {
+	// The classic Byzantine primary: digest A to half the committee,
+	// digest B to the other half. Quorum intersection must prevent two
+	// digests from both committing — whatever commits, commits uniquely.
+	for seed := int64(0); seed < 20; seed++ {
+		net, err := overlay.NewNetwork(randx.New(seed), 7, overlay.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := []int{0, 1, 2, 3, 4, 5, 6}
+		res, err := RunDetailed(sim.NewEngine(), net, DetailedConfig{
+			Replicas:   members,
+			Equivocate: true,
+		})
+		if err != nil {
+			// No quorum at all is a safe outcome under equivocation.
+			if !errors.Is(err, ErrNoQuorum) {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		digests := make(map[byte]bool)
+		for _, d := range res.Digest {
+			digests[d] = true
+		}
+		if len(digests) > 1 {
+			t.Fatalf("seed %d: SAFETY VIOLATION — two digests committed: %v", seed, res.Digest)
+		}
+	}
+}
+
+func TestEquivocatePlusSilentFaultyStillSafe(t *testing.T) {
+	// n=10 tolerates f=3: an equivocating primary plus two silent
+	// replicas stay within budget and safety must hold.
+	for seed := int64(0); seed < 10; seed++ {
+		net, err := overlay.NewNetwork(randx.New(100+seed), 10, overlay.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := make([]int, 10)
+		for i := range members {
+			members[i] = i
+		}
+		res, err := RunDetailed(sim.NewEngine(), net, DetailedConfig{
+			Replicas:   members,
+			Equivocate: true,
+			Faulty:     map[int]bool{3: true, 7: true},
+		})
+		if err != nil && !errors.Is(err, ErrNoQuorum) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		digests := make(map[byte]bool)
+		for _, d := range res.Digest {
+			digests[d] = true
+		}
+		if len(digests) > 1 {
+			t.Fatalf("seed %d: two digests committed", seed)
+		}
+	}
+}
+
+func TestEquivocateCountsAgainstFaultBudget(t *testing.T) {
+	// n=7 tolerates f=2; equivocating primary + 2 silent = 3 > f.
+	engine, net, members := detailedSetup(t, 7, overlay.Config{})
+	_, err := RunDetailed(engine, net, DetailedConfig{
+		Replicas:   members,
+		Equivocate: true,
+		Faulty:     map[int]bool{1: true, 2: true},
+	})
+	if !errors.Is(err, ErrTooFaulty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHonestRunDigestUniform(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{})
+	res, err := RunDetailed(engine, net, DetailedConfig{Replicas: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, d := range res.Digest {
+		if d != 0 {
+			t.Fatalf("replica %d committed digest %d under an honest primary", r, d)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package pbft
+
+import (
+	"fmt"
+	"time"
+
+	"mvcom/internal/overlay"
+	"mvcom/internal/sim"
+)
+
+// view-change message kinds extend the three-phase set.
+const (
+	msgViewChange msgKind = iota + 100
+	msgNewView
+)
+
+// RunDetailedWithViewChange executes a message-level PBFT instance that
+// tolerates a fail-silent primary: replicas arm a view-change timer when
+// the protocol starts; if no pre-prepare arrives before it fires they
+// broadcast VIEW-CHANGE, and once a replica collects 2f+1 view-change
+// votes for view v+1 and is that view's primary, it issues NEW-VIEW and
+// restarts the three-phase protocol. Repeated faulty primaries trigger
+// further view changes with doubled timeouts (PBFT's backoff).
+//
+// ViewTimeout is the initial patience; non-positive defaults to 10× the
+// processing delay + 1 s.
+func RunDetailedWithViewChange(engine *sim.Engine, net *overlay.Network, cfg DetailedConfig, viewTimeout time.Duration) (DetailedResult, error) {
+	n := len(cfg.Replicas)
+	if n < 4 {
+		return DetailedResult{}, fmt.Errorf("%w: %d replicas", ErrTooSmall, n)
+	}
+	if engine == nil || net == nil {
+		return DetailedResult{}, fmt.Errorf("%w: nil engine or network", ErrBadInput)
+	}
+	if cfg.Primary < 0 || cfg.Primary >= n {
+		return DetailedResult{}, fmt.Errorf("%w: primary %d", ErrBadInput, cfg.Primary)
+	}
+	f := MaxFaulty(n)
+	nFaulty := 0
+	for pos, bad := range cfg.Faulty {
+		if bad {
+			if pos < 0 || pos >= n {
+				return DetailedResult{}, fmt.Errorf("%w: faulty position %d", ErrBadInput, pos)
+			}
+			nFaulty++
+		}
+	}
+	if nFaulty > f {
+		return DetailedResult{}, fmt.Errorf("%w: %d faulty > f=%d", ErrTooFaulty, nFaulty, f)
+	}
+	proc := cfg.ProcessingDelay
+	if proc <= 0 {
+		proc = 5 * time.Millisecond
+	}
+	if viewTimeout <= 0 {
+		viewTimeout = time.Second + 10*proc
+	}
+	quorum := 2*f + 1
+
+	type vcState struct {
+		replicaState
+		view       int                  // current view this replica is in
+		vcVotes    map[int]map[int]bool // view → voters
+		sentVCFor  int                  // highest view this replica voted for
+		timerArmed int                  // view whose expiry timer is pending
+	}
+	states := make([]vcState, n)
+	for i := range states {
+		states[i].prepareFrom = make(map[byte]map[int]bool, 1)
+		states[i].commitFrom = make(map[byte]map[int]bool, 1)
+		states[i].vcVotes = make(map[int]map[int]bool)
+		states[i].sentVCFor = -1
+		states[i].timerArmed = -1
+	}
+	res := DetailedResult{Committed: make(map[int]time.Duration, n)}
+	primaryOf := func(view int) int { return (cfg.Primary + view) % n }
+
+	var deliver func(src, dst int, kind msgKind, view int)
+	var onMessage func(dst, src int, kind msgKind, view int, now time.Duration)
+	var armTimer func(replica, view int)
+
+	deliver = func(src, dst int, kind msgKind, view int) {
+		delay, ok := net.Delay(cfg.Replicas[src], cfg.Replicas[dst])
+		if !ok {
+			return
+		}
+		_, _ = engine.Schedule(proc+delay, func(now time.Duration) {
+			res.Messages++
+			onMessage(dst, src, kind, view, now)
+		})
+	}
+	broadcast := func(src int, kind msgKind, view int) {
+		for dst := 0; dst < n; dst++ {
+			if dst != src {
+				deliver(src, dst, kind, view)
+			}
+		}
+	}
+	startPhases := func(primary int, view int, now time.Duration) {
+		st := &states[primary]
+		st.prePrepared = true
+		st.sentPrepare = true
+		st.prepareFrom = map[byte]map[int]bool{0: {primary: true}}
+		broadcast(primary, msgPrePrepare, view)
+	}
+	armTimer = func(replica, view int) {
+		st := &states[replica]
+		if cfg.Faulty[replica] || st.hasCommitted {
+			return
+		}
+		st.timerArmed = view
+		// Exponential backoff per view, PBFT style.
+		timeout := viewTimeout << uint(view)
+		_, _ = engine.Schedule(timeout, func(now time.Duration) {
+			cur := &states[replica]
+			if cur.hasCommitted || cur.view != view || cur.timerArmed != view {
+				return
+			}
+			// Suspect the view's primary: vote for view+1.
+			next := view + 1
+			if cur.sentVCFor >= next {
+				return
+			}
+			cur.sentVCFor = next
+			if cur.vcVotes[next] == nil {
+				cur.vcVotes[next] = make(map[int]bool)
+			}
+			cur.vcVotes[next][replica] = true
+			broadcast(replica, msgViewChange, next)
+			armTimer(replica, view) // re-arm in case the next view stalls too
+		})
+	}
+
+	enterView := func(replica, view int, now time.Duration) {
+		st := &states[replica]
+		if view <= st.view {
+			return
+		}
+		st.view = view
+		st.prePrepared = false
+		st.sentPrepare = false
+		st.sentCommit = false
+		st.prepareFrom = make(map[byte]map[int]bool, 1)
+		st.commitFrom = make(map[byte]map[int]bool, 1)
+		if primaryOf(view) == replica && !cfg.Faulty[replica] {
+			startPhases(replica, view, now)
+		}
+		armTimer(replica, view)
+	}
+
+	onMessage = func(dst, src int, kind msgKind, view int, now time.Duration) {
+		if cfg.Faulty[dst] {
+			return
+		}
+		st := &states[dst]
+		switch kind {
+		case msgViewChange:
+			if st.vcVotes[view] == nil {
+				st.vcVotes[view] = make(map[int]bool)
+			}
+			st.vcVotes[view][src] = true
+			// Echo our own vote once f+1 peers suspect (liveness rule).
+			if len(st.vcVotes[view]) >= f+1 && st.sentVCFor < view {
+				st.sentVCFor = view
+				st.vcVotes[view][dst] = true
+				broadcast(dst, msgViewChange, view)
+			}
+			if len(st.vcVotes[view]) >= quorum && view > st.view {
+				// Quorum reached: every correct replica moves to the new
+				// view (arming its timer there, so a faulty new primary
+				// triggers the next round); the new primary additionally
+				// announces NEW-VIEW and restarts the three-phase
+				// protocol.
+				if primaryOf(view) == dst {
+					broadcast(dst, msgNewView, view)
+				}
+				enterView(dst, view, now)
+			}
+		case msgNewView:
+			if src == primaryOf(view) {
+				enterView(dst, view, now)
+			}
+		case msgPrePrepare:
+			if view < st.view || st.prePrepared {
+				return
+			}
+			if src != primaryOf(view) {
+				return // only the view's primary may pre-prepare
+			}
+			if view > st.view {
+				enterView(dst, view, now)
+			}
+			st.prePrepared = true
+			st.votes(st.prepareFrom, 0)[primaryOf(view)] = true
+			if !st.sentPrepare {
+				st.sentPrepare = true
+				st.votes(st.prepareFrom, 0)[dst] = true
+				broadcast(dst, msgPrepare, view)
+			}
+		case msgPrepare:
+			if view == st.view {
+				st.votes(st.prepareFrom, 0)[src] = true
+			}
+		case msgCommit:
+			if view == st.view {
+				st.votes(st.commitFrom, 0)[src] = true
+			}
+		}
+		if st.prePrepared && !st.sentCommit && len(st.votes(st.prepareFrom, 0)) >= quorum-1 {
+			st.sentCommit = true
+			st.votes(st.commitFrom, 0)[dst] = true
+			broadcast(dst, msgCommit, st.view)
+		}
+		if st.sentCommit && !st.hasCommitted && len(st.votes(st.commitFrom, 0)) >= quorum {
+			st.hasCommitted = true
+			st.committedAt = now
+			res.Committed[dst] = now
+		}
+	}
+
+	// View 0 begins: the designated primary pre-prepares unless faulty;
+	// every correct replica arms its suspicion timer.
+	if !cfg.Faulty[cfg.Primary] {
+		startPhases(cfg.Primary, 0, 0)
+	}
+	for r := 0; r < n; r++ {
+		armTimer(r, 0)
+	}
+
+	engine.Run(0)
+
+	if len(res.Committed) < quorum {
+		return res, fmt.Errorf("%w: %d of %d commits", ErrNoQuorum, len(res.Committed), quorum)
+	}
+	times := make([]time.Duration, 0, len(res.Committed))
+	for _, at := range res.Committed {
+		times = append(times, at)
+	}
+	sortDurationsAsc(times)
+	res.ConsensusAt = times[quorum-1]
+	return res, nil
+}

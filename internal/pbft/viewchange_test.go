@@ -1,0 +1,118 @@
+package pbft
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mvcom/internal/overlay"
+	"mvcom/internal/randx"
+	"mvcom/internal/sim"
+)
+
+func TestViewChangeHealthyPrimaryNoChange(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{MeanLatency: 50 * time.Millisecond})
+	res, err := RunDetailedWithViewChange(engine, net, DetailedConfig{Replicas: members}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) != 7 {
+		t.Fatalf("committed %d of 7", len(res.Committed))
+	}
+	// With a generous timeout and healthy primary, consensus completes in
+	// view 0, far below the view timeout.
+	if res.ConsensusAt >= 30*time.Second {
+		t.Fatalf("consensus %v suggests an unnecessary view change", res.ConsensusAt)
+	}
+}
+
+func TestViewChangeFaultyPrimaryRecovers(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{MeanLatency: 50 * time.Millisecond})
+	res, err := RunDetailedWithViewChange(engine, net, DetailedConfig{
+		Replicas: members,
+		Faulty:   map[int]bool{0: true}, // the view-0 primary is silent
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Committed) != 6 {
+		t.Fatalf("committed %d of 6 correct replicas", len(res.Committed))
+	}
+	// Consensus must complete after at least one view timeout.
+	if res.ConsensusAt < 2*time.Second {
+		t.Fatalf("consensus %v before the view timeout could fire", res.ConsensusAt)
+	}
+}
+
+func TestViewChangeTwoFaultyPrimariesInARow(t *testing.T) {
+	// Primaries of views 0 and 1 are both silent: two view changes with
+	// exponential backoff before a correct primary drives the protocol.
+	engine, net, members := detailedSetup(t, 10, overlay.Config{MeanLatency: 50 * time.Millisecond})
+	res, err := RunDetailedWithViewChange(engine, net, DetailedConfig{
+		Replicas: members,
+		Faulty:   map[int]bool{0: true, 1: true},
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quorum := QuorumSize(MaxFaulty(10))
+	if len(res.Committed) < quorum {
+		t.Fatalf("committed %d below quorum %d", len(res.Committed), quorum)
+	}
+	// At least timeout(view0) + timeout(view1) = 1s + 2s elapsed.
+	if res.ConsensusAt < 3*time.Second {
+		t.Fatalf("consensus %v too fast for two view changes", res.ConsensusAt)
+	}
+}
+
+func TestViewChangeFaultyPrimarySlowerThanHealthy(t *testing.T) {
+	run := func(faulty map[int]bool) time.Duration {
+		engine, net, members := detailedSetup(t, 7, overlay.Config{MeanLatency: 50 * time.Millisecond})
+		res, err := RunDetailedWithViewChange(engine, net, DetailedConfig{
+			Replicas: members, Faulty: faulty,
+		}, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ConsensusAt
+	}
+	healthy := run(nil)
+	degraded := run(map[int]bool{0: true})
+	if degraded <= healthy {
+		t.Fatalf("view change cost invisible: %v vs %v", healthy, degraded)
+	}
+}
+
+func TestViewChangeValidation(t *testing.T) {
+	engine, net, members := detailedSetup(t, 7, overlay.Config{})
+	if _, err := RunDetailedWithViewChange(engine, net, DetailedConfig{Replicas: members[:2]}, 0); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RunDetailedWithViewChange(nil, net, DetailedConfig{Replicas: members}, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v", err)
+	}
+	tooMany := map[int]bool{0: true, 1: true, 2: true}
+	if _, err := RunDetailedWithViewChange(engine, net, DetailedConfig{Replicas: members, Faulty: tooMany}, 0); !errors.Is(err, ErrTooFaulty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestViewChangeDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		net, err := overlay.NewNetwork(randx.New(5), 7, overlay.Config{MeanLatency: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members := []int{0, 1, 2, 3, 4, 5, 6}
+		res, err := RunDetailedWithViewChange(sim.NewEngine(), net, DetailedConfig{
+			Replicas: members, Faulty: map[int]bool{0: true},
+		}, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ConsensusAt
+	}
+	if run() != run() {
+		t.Fatal("same seed diverged")
+	}
+}

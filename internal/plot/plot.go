@@ -1,0 +1,154 @@
+// Package plot renders figure series as ASCII line charts for terminal
+// quick-looks: `mvcom-bench -fig 8 -ascii` draws the convergence curves
+// without leaving the shell. Rendering is deterministic and allocation
+// light; it is a diagnostics aid, not a replacement for the TSV output.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Errors returned by the renderer.
+var (
+	ErrNoSeries = errors.New("plot: no series")
+	ErrTooSmall = errors.New("plot: canvas too small")
+)
+
+// Series is one line on the chart.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	// Width and Height of the plotting area in characters. Defaults
+	// 72×20; minimum 16×4.
+	Width  int
+	Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel string
+	YLabel string
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Width == 0 {
+		o.Width = 72
+	}
+	if o.Height == 0 {
+		o.Height = 20
+	}
+	if o.Width < 16 || o.Height < 4 {
+		return o, ErrTooSmall
+	}
+	return o, nil
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// Render draws the series onto an ASCII canvas and writes it to w.
+func Render(w io.Writer, series []Series, opts Options) error {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	var pts int
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x but %d y", s.Label, len(s.X), len(s.Y))
+		}
+		pts += len(s.X)
+	}
+	if len(series) == 0 || pts == 0 {
+		return ErrNoSeries
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(opts.Width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(opts.Height-1))
+			row := opts.Height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yHi := formatTick(maxY)
+	yLo := formatTick(minY)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, yHi)
+		}
+		if r == opts.Height-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), opts.Width-len(formatTick(maxX)), formatTick(minX), formatTick(maxX))
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", opts.XLabel, opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// formatTick renders an axis value compactly (SI-style suffixes).
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av == 0:
+		return "0"
+	case av < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func lineSeries() []Series {
+	xs := make([]float64, 20)
+	up := make([]float64, 20)
+	down := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i)
+		up[i] = float64(i * i)
+		down[i] = float64(400 - i*i)
+	}
+	return []Series{
+		{Label: "up", X: xs, Y: up},
+		{Label: "down", X: xs, Y: down},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var b strings.Builder
+	err := Render(&b, lineSeries(), Options{Title: "test chart", XLabel: "iter", YLabel: "util"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "x: iter   y: util") {
+		t.Fatal("missing axis labels")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("missing plotted points")
+	}
+	// Axis line present.
+	if !strings.Contains(out, "+"+strings.Repeat("-", 72)) {
+		t.Fatal("missing x axis")
+	}
+}
+
+func TestRenderMarkerPlacement(t *testing.T) {
+	// A strictly increasing line must put its marker in the top-right and
+	// bottom-left corners of the canvas.
+	var b strings.Builder
+	s := []Series{{Label: "diag", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	if err := Render(&b, s, Options{Width: 16, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0][15] != '*' {
+		t.Fatalf("top-right marker missing: %q", rows[0])
+	}
+	if rows[3][0] != '*' {
+		t.Fatalf("bottom-left marker missing: %q", rows[3])
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Render(&b, nil, Options{}); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Render(&b, []Series{{Label: "e"}}, Options{}); !errors.Is(err, ErrNoSeries) {
+		t.Fatalf("empty series: %v", err)
+	}
+	if err := Render(&b, lineSeries(), Options{Width: 4, Height: 2}); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("tiny canvas: %v", err)
+	}
+	bad := []Series{{Label: "bad", X: []float64{1}, Y: []float64{1, 2}}}
+	if err := Render(&b, bad, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var b strings.Builder
+	s := []Series{{Label: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}
+	if err := Render(&b, s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1234, "1.2k"},
+		{2_500_000, "2.5M"},
+		{3e9, "3.0G"},
+		{0.001, "1.00e-03"},
+		{-1234, "-1.2k"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.give); got != tt.want {
+			t.Fatalf("formatTick(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package pow
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mvcom/internal/chain"
+)
+
+// Assignment errors.
+var ErrBadAssignment = errors.New("pow: invalid assignment parameters")
+
+// AssignByHash implements Elastico's identity-based committee assignment:
+// each solver's committee is determined by the low bits of
+// H(epochSeed || node), so membership is unpredictable and uniform. A
+// committee closes once its seats fill; later solvers hashing into a full
+// committee spill into the least-filled open one (Elastico redirects them
+// via the directory committee). FormedAt semantics match FormCommittees:
+// the committee is usable when its final seat is won.
+//
+// Solvers must be sorted by solve time (as returned by Election.Run); the
+// first committees×seats solvers that land seats are used.
+func AssignByHash(epochSeed chain.Hash, solvers []Solver, committees, seats int) ([]Committee, error) {
+	if committees <= 0 || seats <= 0 {
+		return nil, ErrBadSeats
+	}
+	need := committees * seats
+	if len(solvers) < need {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnough, need, len(solvers))
+	}
+	out := make([]Committee, committees)
+	for c := range out {
+		out[c].ID = c
+		out[c].Members = make([]int, 0, seats)
+	}
+	placed := 0
+	for _, s := range solvers {
+		if placed == need {
+			break
+		}
+		c := int(identityBits(epochSeed, s.Node) % uint64(committees))
+		if len(out[c].Members) >= seats {
+			// Directory redirect: the fullest committees reject; place
+			// into the currently least-filled committee.
+			c = leastFilled(out, seats)
+			if c < 0 {
+				break
+			}
+		}
+		out[c].Members = append(out[c].Members, s.Node)
+		if s.SolveAt > out[c].FormedAt {
+			out[c].FormedAt = s.SolveAt
+		}
+		placed++
+	}
+	if placed != need {
+		return nil, fmt.Errorf("%w: placed %d of %d seats", ErrBadAssignment, placed, need)
+	}
+	return out, nil
+}
+
+// identityBits derives the assignment bits from the epoch seed and node
+// identity — the Elastico rule that identities map to committees by the
+// final bits of their PoW hash.
+func identityBits(seed chain.Hash, node int) uint64 {
+	var buf [sha256.Size + 8]byte
+	copy(buf[:sha256.Size], seed[:])
+	binary.BigEndian.PutUint64(buf[sha256.Size:], uint64(node))
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[sha256.Size-8:])
+}
+
+// leastFilled returns the open committee with the fewest members, or -1
+// when all committees are full.
+func leastFilled(coms []Committee, seats int) int {
+	best, bestLen := -1, seats
+	for c := range coms {
+		if len(coms[c].Members) < bestLen {
+			best = c
+			bestLen = len(coms[c].Members)
+		}
+	}
+	return best
+}

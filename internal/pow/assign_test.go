@@ -1,0 +1,149 @@
+package pow
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mvcom/internal/chain"
+	"mvcom/internal/randx"
+)
+
+func epochSeed(n uint64) chain.Hash {
+	return chain.Transaction{ID: n}.Hash()
+}
+
+func TestAssignByHashBasics(t *testing.T) {
+	solvers, err := Election{}.Run(randx.New(1), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coms, err := AssignByHash(epochSeed(1), solvers, 6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coms) != 6 {
+		t.Fatalf("committees %d", len(coms))
+	}
+	seen := make(map[int]bool)
+	for _, c := range coms {
+		if len(c.Members) != 20 {
+			t.Fatalf("committee %d has %d members", c.ID, len(c.Members))
+		}
+		var maxAt time.Duration
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two committees", m)
+			}
+			seen[m] = true
+			for _, s := range solvers {
+				if s.Node == m && s.SolveAt > maxAt {
+					maxAt = s.SolveAt
+				}
+			}
+		}
+		if c.FormedAt != maxAt {
+			t.Fatalf("committee %d FormedAt %v, want %v", c.ID, c.FormedAt, maxAt)
+		}
+	}
+}
+
+func TestAssignByHashDeterministicPerSeed(t *testing.T) {
+	solvers, err := Election{}.Run(randx.New(2), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AssignByHash(epochSeed(7), solvers, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignByHash(epochSeed(7), solvers, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a {
+		if len(a[c].Members) != len(b[c].Members) {
+			t.Fatal("same seed diverged")
+		}
+		for i := range a[c].Members {
+			if a[c].Members[i] != b[c].Members[i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestAssignByHashSeedChangesMembership(t *testing.T) {
+	solvers, err := Election{}.Run(randx.New(3), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AssignByHash(epochSeed(1), solvers, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignByHash(epochSeed(2), solvers, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for c := range a {
+		for i := range a[c].Members {
+			if a[c].Members[i] == b[c].Members[i] {
+				same++
+			}
+		}
+	}
+	if same == 80 {
+		t.Fatal("epoch randomness did not reshuffle committees")
+	}
+}
+
+func TestAssignByHashUniformity(t *testing.T) {
+	// Natural (pre-spill) assignment should be roughly uniform: with many
+	// more solvers than seats, committee hash buckets are balanced.
+	solvers := make([]Solver, 40000)
+	for i := range solvers {
+		solvers[i] = Solver{Node: i, SolveAt: time.Duration(i)}
+	}
+	const committees = 8
+	counts := make([]int, committees)
+	for _, s := range solvers {
+		counts[identityBits(epochSeed(5), s.Node)%committees]++
+	}
+	want := float64(len(solvers)) / committees
+	for c, n := range counts {
+		if math.Abs(float64(n)-want) > 0.05*want {
+			t.Fatalf("bucket %d has %d of ~%.0f", c, n, want)
+		}
+	}
+}
+
+func TestAssignByHashErrors(t *testing.T) {
+	solvers := make([]Solver, 10)
+	if _, err := AssignByHash(epochSeed(1), solvers, 0, 5); err != ErrBadSeats {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := AssignByHash(epochSeed(1), solvers, 3, 4); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAssignByHashSpillKeepsSeatsExact(t *testing.T) {
+	// Tiny committees force spills; every committee must still end with
+	// exactly `seats` members.
+	solvers, err := Election{}.Run(randx.New(4), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coms, err := AssignByHash(epochSeed(9), solvers, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range coms {
+		if len(c.Members) != 2 {
+			t.Fatalf("committee %d has %d members", c.ID, len(c.Members))
+		}
+	}
+}

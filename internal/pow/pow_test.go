@@ -1,0 +1,283 @@
+package pow
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mvcom/internal/chain"
+	"mvcom/internal/randx"
+)
+
+func TestElectionRunSorted(t *testing.T) {
+	solvers, err := Election{}.Run(randx.New(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solvers) != 100 {
+		t.Fatalf("solvers %d", len(solvers))
+	}
+	if !sort.SliceIsSorted(solvers, func(i, j int) bool {
+		return solvers[i].SolveAt < solvers[j].SolveAt
+	}) {
+		t.Fatal("solvers not sorted by solve time")
+	}
+	seen := make(map[int]bool)
+	for _, s := range solvers {
+		if seen[s.Node] {
+			t.Fatalf("node %d appears twice", s.Node)
+		}
+		seen[s.Node] = true
+	}
+}
+
+func TestElectionMeanSolve(t *testing.T) {
+	solvers, err := Election{MeanSolve: 600 * time.Second}.Run(randx.New(2), 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range solvers {
+		sum += s.SolveAt.Seconds()
+	}
+	mean := sum / float64(len(solvers))
+	// Hash-rate heterogeneity (lognormal mean-1 divisor) inflates the mean
+	// slightly; accept a ±10% band around 600 s.
+	if math.Abs(mean-600) > 60 {
+		t.Fatalf("mean solve %.1f s, want ~600", mean)
+	}
+}
+
+func TestElectionErrors(t *testing.T) {
+	if _, err := (Election{}).Run(randx.New(1), 0); err != ErrNoNodes {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestElectionDeterministic(t *testing.T) {
+	a, _ := Election{}.Run(randx.New(7), 50)
+	b, _ := Election{}.Run(randx.New(7), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestFormCommittees(t *testing.T) {
+	solvers, err := Election{}.Run(randx.New(3), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coms, err := FormCommittees(solvers, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coms) != 5 {
+		t.Fatalf("committees %d", len(coms))
+	}
+	seen := make(map[int]bool)
+	for _, c := range coms {
+		if len(c.Members) != 20 {
+			t.Fatalf("committee %d has %d members", c.ID, len(c.Members))
+		}
+		if c.FormedAt <= 0 {
+			t.Fatalf("committee %d FormedAt %v", c.ID, c.FormedAt)
+		}
+		for _, m := range c.Members {
+			if seen[m] {
+				t.Fatalf("node %d in two committees", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestFormCommitteesFormedAtIsMaxMemberSolve(t *testing.T) {
+	solvers := []Solver{
+		{Node: 0, SolveAt: 1 * time.Second},
+		{Node: 1, SolveAt: 2 * time.Second},
+		{Node: 2, SolveAt: 3 * time.Second},
+		{Node: 3, SolveAt: 10 * time.Second},
+	}
+	coms, err := FormCommittees(solvers, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: committee 0 gets solvers 0,2; committee 1 gets 1,3.
+	if coms[0].FormedAt != 3*time.Second {
+		t.Fatalf("committee 0 FormedAt %v", coms[0].FormedAt)
+	}
+	if coms[1].FormedAt != 10*time.Second {
+		t.Fatalf("committee 1 FormedAt %v", coms[1].FormedAt)
+	}
+}
+
+func TestFormCommitteesErrors(t *testing.T) {
+	solvers := make([]Solver, 10)
+	if _, err := FormCommittees(solvers, 0, 5); err != ErrBadSeats {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FormCommittees(solvers, 5, 0); err != ErrBadSeats {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FormCommittees(solvers, 3, 4); !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFormCommitteesPartitionProperty(t *testing.T) {
+	f := func(seed int64, rawComs, rawSeats uint8) bool {
+		coms := int(rawComs)%6 + 1
+		seats := int(rawSeats)%8 + 1
+		solvers, err := Election{}.Run(randx.New(seed), coms*seats+5)
+		if err != nil {
+			return false
+		}
+		formed, err := FormCommittees(solvers, coms, seats)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, c := range formed {
+			if len(c.Members) != seats {
+				return false
+			}
+			for _, m := range c.Members {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+			// FormedAt must equal the max solve time of its members.
+			var maxAt time.Duration
+			for _, s := range solvers {
+				for _, m := range c.Members {
+					if s.Node == m && s.SolveAt > maxAt {
+						maxAt = s.SolveAt
+					}
+				}
+			}
+			if c.FormedAt != maxAt {
+				return false
+			}
+		}
+		return len(seen) == coms*seats
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPuzzleSolveVerify(t *testing.T) {
+	seed := chain.Transaction{ID: 1}.Hash()
+	p, err := NewPuzzle(seed, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, err := p.Solve(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Verify(nonce) {
+		t.Fatal("solution does not verify")
+	}
+	if nonce > 0 && p.Verify(nonce) && p.Bits >= 1 {
+		// A trivially wrong nonce should (overwhelmingly) not verify;
+		// check the immediately preceding nonce, which Solve rejected.
+		if p.Verify(nonce - 1) {
+			t.Fatal("Solve skipped a valid nonce")
+		}
+	}
+}
+
+func TestPuzzleDifficultyScaling(t *testing.T) {
+	seed := chain.Transaction{ID: 2}.Hash()
+	easy, err := NewPuzzle(seed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := NewPuzzle(seed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.ExpectedAttempts() != 16 || hard.ExpectedAttempts() != 65536 {
+		t.Fatalf("expected attempts %v %v", easy.ExpectedAttempts(), hard.ExpectedAttempts())
+	}
+	easyNonce, err := easy.Solve(0, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardNonce, err := hard.Solve(0, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easyNonce > hardNonce {
+		t.Fatalf("easier puzzle took more attempts: %d vs %d", easyNonce, hardNonce)
+	}
+}
+
+func TestPuzzleBudgetExhausted(t *testing.T) {
+	seed := chain.Transaction{ID: 3}.Hash()
+	p, err := NewPuzzle(seed, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(0, 10); err != ErrNoSolution {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewPuzzleBadDifficulty(t *testing.T) {
+	seed := chain.Hash{}
+	if _, err := NewPuzzle(seed, 0); err != ErrBadDifficulty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewPuzzle(seed, 65); err != ErrBadDifficulty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPuzzleSolutionRate(t *testing.T) {
+	// Empirically verify P(valid) ≈ 2^-bits over random nonces.
+	seed := chain.Transaction{ID: 4}.Hash()
+	p, err := NewPuzzle(seed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		if p.Verify(i) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	want := 1.0 / 256
+	if math.Abs(rate-want) > want/3 {
+		t.Fatalf("solution rate %.6f, want ~%.6f", rate, want)
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	var h chain.Hash
+	if got := leadingZeroBits(h); got != 256 {
+		t.Fatalf("all-zero hash: %d", got)
+	}
+	h[0] = 0x80
+	if got := leadingZeroBits(h); got != 0 {
+		t.Fatalf("msb-set hash: %d", got)
+	}
+	h[0] = 0x01
+	if got := leadingZeroBits(h); got != 7 {
+		t.Fatalf("0x01 hash: %d", got)
+	}
+	h[0] = 0
+	h[9] = 0x40
+	if got := leadingZeroBits(h); got != 73 {
+		t.Fatalf("deep-zero hash: %d", got)
+	}
+}

@@ -1,0 +1,78 @@
+package pow
+
+import (
+	"errors"
+	"time"
+)
+
+// Retarget errors.
+var ErrNoHistory = errors.New("pow: no solve history")
+
+// Retargeter adjusts the election difficulty so the mean solving latency
+// tracks a target — the mechanism that keeps the paper's 600-second
+// expectation stable as hash power drifts across epochs (Bitcoin-style
+// difficulty adjustment, clamped per step like the real protocol).
+type Retargeter struct {
+	// Target is the desired mean solve time. Default 600 s.
+	Target time.Duration
+	// MaxStep clamps a single adjustment factor to [1/MaxStep, MaxStep].
+	// Default 4 (Bitcoin's rule).
+	MaxStep float64
+}
+
+func (rt Retargeter) withDefaults() Retargeter {
+	if rt.Target <= 0 {
+		rt.Target = 600 * time.Second
+	}
+	if rt.MaxStep <= 1 {
+		rt.MaxStep = 4
+	}
+	return rt
+}
+
+// Adjust returns the next epoch's MeanSolve given the observed solve
+// times of the last epoch. A fast epoch (observed mean below target)
+// raises the difficulty — i.e. the configured MeanSolve grows toward the
+// target and vice versa. The adjustment factor is clamped to
+// [1/MaxStep, MaxStep].
+func (rt Retargeter) Adjust(current time.Duration, observed []time.Duration) (time.Duration, error) {
+	rt = rt.withDefaults()
+	if len(observed) == 0 {
+		return 0, ErrNoHistory
+	}
+	if current <= 0 {
+		current = rt.Target
+	}
+	var sum float64
+	for _, d := range observed {
+		sum += d.Seconds()
+	}
+	mean := sum / float64(len(observed))
+	if mean <= 0 {
+		return 0, ErrNoHistory
+	}
+	// If miners solved faster than the target, the per-node expected
+	// solve time must increase proportionally (more leading zero bits in
+	// the real protocol; a larger exponential mean in the simulation).
+	factor := rt.Target.Seconds() / mean
+	if factor > rt.MaxStep {
+		factor = rt.MaxStep
+	}
+	if factor < 1/rt.MaxStep {
+		factor = 1 / rt.MaxStep
+	}
+	next := time.Duration(float64(current) * factor)
+	if next <= 0 {
+		next = time.Nanosecond
+	}
+	return next, nil
+}
+
+// AdjustFromSolvers is Adjust over an election result.
+func (rt Retargeter) AdjustFromSolvers(current time.Duration, solvers []Solver) (time.Duration, error) {
+	obs := make([]time.Duration, len(solvers))
+	for i, s := range solvers {
+		obs[i] = s.SolveAt
+	}
+	return rt.Adjust(current, obs)
+}

@@ -1,0 +1,117 @@
+package pow
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mvcom/internal/randx"
+)
+
+func TestRetargeterRaisesDifficultyWhenFast(t *testing.T) {
+	rt := Retargeter{Target: 600 * time.Second}
+	// Miners solved in 300 s on average: expected solve time must double.
+	next, err := rt.Adjust(600*time.Second, []time.Duration{300 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next.Seconds()-1200) > 1 {
+		t.Fatalf("next %v, want ~1200 s", next)
+	}
+}
+
+func TestRetargeterLowersDifficultyWhenSlow(t *testing.T) {
+	rt := Retargeter{Target: 600 * time.Second}
+	next, err := rt.Adjust(600*time.Second, []time.Duration{1200 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next.Seconds()-300) > 1 {
+		t.Fatalf("next %v, want ~300 s", next)
+	}
+}
+
+func TestRetargeterClampsStep(t *testing.T) {
+	rt := Retargeter{Target: 600 * time.Second, MaxStep: 4}
+	// 100× too fast: clamp to ×4.
+	next, err := rt.Adjust(600*time.Second, []time.Duration{6 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next.Seconds()-2400) > 1 {
+		t.Fatalf("next %v, want clamped 2400 s", next)
+	}
+	// 100× too slow: clamp to ÷4.
+	next, err = rt.Adjust(600*time.Second, []time.Duration{60000 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next.Seconds()-150) > 1 {
+		t.Fatalf("next %v, want clamped 150 s", next)
+	}
+}
+
+func TestRetargeterErrors(t *testing.T) {
+	rt := Retargeter{}
+	if _, err := rt.Adjust(600*time.Second, nil); err != ErrNoHistory {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := rt.Adjust(600*time.Second, []time.Duration{0}); err != ErrNoHistory {
+		t.Fatalf("zero observations: %v", err)
+	}
+}
+
+func TestRetargeterDefaultsAndZeroCurrent(t *testing.T) {
+	rt := Retargeter{}
+	next, err := rt.Adjust(0, []time.Duration{600 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed equals the default target: no change from the default.
+	if math.Abs(next.Seconds()-600) > 1 {
+		t.Fatalf("next %v, want ~600 s", next)
+	}
+}
+
+func TestRetargeterConvergesOverEpochs(t *testing.T) {
+	// Start mis-calibrated by 3×; repeated elections + retargeting must
+	// bring the observed mean near the target within a few epochs.
+	rt := Retargeter{Target: 600 * time.Second}
+	rng := randx.New(1)
+	current := 200 * time.Second // hash power tripled overnight
+	var observedMean float64
+	for epoch := 0; epoch < 6; epoch++ {
+		solvers, err := Election{MeanSolve: current}.Run(rng, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range solvers {
+			sum += s.SolveAt.Seconds()
+		}
+		observedMean = sum / float64(len(solvers))
+		next, err := rt.AdjustFromSolvers(current, solvers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		current = next
+	}
+	if math.Abs(observedMean-600) > 90 {
+		t.Fatalf("after retargeting, observed mean %.0f s, want ~600", observedMean)
+	}
+}
+
+func TestAdjustFromSolvers(t *testing.T) {
+	rt := Retargeter{Target: 600 * time.Second}
+	solvers := []Solver{{Node: 0, SolveAt: 300 * time.Second}, {Node: 1, SolveAt: 300 * time.Second}}
+	next, err := rt.AdjustFromSolvers(600*time.Second, solvers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(next.Seconds()-1200) > 1 {
+		t.Fatalf("next %v", next)
+	}
+	if _, err := rt.AdjustFromSolvers(600*time.Second, nil); err != ErrNoHistory {
+		t.Fatalf("err = %v", err)
+	}
+}

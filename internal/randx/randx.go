@@ -1,0 +1,295 @@
+// Package randx provides deterministic, explicitly seeded random sampling
+// utilities used across the MVCom simulator and the stochastic-exploration
+// scheduler.
+//
+// All samplers are driven by an *RNG created from an explicit seed so that
+// every experiment, test, and benchmark in this repository is reproducible
+// bit-for-bit. The package also contains the numerically hardened log-space
+// primitives (log-sum-exp and the Gumbel-max trick) that the SE algorithm
+// needs: with the paper's default β=2 and utilities on the order of 10⁵,
+// exponentiating ½β·ΔU overflows float64, so all timer races are resolved
+// in log space.
+package randx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrEmpty is returned by samplers that require at least one candidate.
+var ErrEmpty = errors.New("randx: empty input")
+
+// RNG is a deterministic random number generator. It wraps math/rand.Rand
+// with the distribution samplers the simulator needs. RNG is not safe for
+// concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns an RNG seeded with the given seed.
+func New(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, independently seeded RNG from r. The derived stream
+// is decorrelated from r by mixing a draw from r through SplitMix64.
+func (r *RNG) Split() *RNG {
+	return New(int64(splitMix64(r.src.Uint64())))
+}
+
+// SplitN derives n independent generators in one call.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+// splitMix64 is the SplitMix64 finalizer; it decorrelates derived seeds.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.src.Float64() < p }
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Exponential returns a sample from an exponential distribution with the
+// given mean. A non-positive mean returns 0.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// ExponentialRate returns a sample from an exponential distribution with
+// the given rate (events per unit time). A non-positive rate returns +Inf:
+// the event never fires.
+func (r *RNG) ExponentialRate(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.src.ExpFloat64() / rate
+}
+
+// Normal returns a sample from N(mean, stddev²).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// LogNormal returns a sample X = exp(N(mu, sigma²)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// LogNormalMeanSpread returns a lognormal sample parameterized by its
+// arithmetic mean and the sigma of the underlying normal. This form is
+// convenient for trace generation ("mean 1850 TXs per block with lognormal
+// spread sigma").
+func (r *RNG) LogNormalMeanSpread(mean, sigma float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return r.LogNormal(mu, sigma)
+}
+
+// Gumbel returns a standard Gumbel(0, 1) sample.
+func (r *RNG) Gumbel() float64 {
+	u := r.src.Float64()
+	for u == 0 { // avoid log(0)
+		u = r.src.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}
+
+// Poisson returns a Poisson(lambda) sample using inversion for small lambda
+// and a normal approximation above 500 (more than adequate for simulation
+// workloads where lambda is a block or message count).
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 500 {
+		v := r.Normal(lambda, math.Sqrt(lambda))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Pick returns a uniformly random element index from a slice of length n.
+// It returns ErrEmpty when n == 0.
+func (r *RNG) Pick(n int) (int, error) {
+	if n <= 0 {
+		return 0, ErrEmpty
+	}
+	return r.src.Intn(n), nil
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably. Entries equal to -Inf
+// contribute nothing; if all entries are -Inf (or the slice is empty) the
+// result is -Inf.
+func LogSumExp(xs []float64) float64 {
+	maxV := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if math.IsInf(maxV, -1) {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for _, x := range xs {
+		if math.IsInf(x, -1) {
+			continue
+		}
+		sum += math.Exp(x - maxV)
+	}
+	return maxV + math.Log(sum)
+}
+
+// CategoricalLog samples an index i with probability proportional to
+// exp(logw[i]) using the Gumbel-max trick: argmax_i (logw[i] + G_i) with
+// i.i.d. standard Gumbel noise is exactly categorical(softmax(logw)).
+// Entries of -Inf are never selected. Returns ErrEmpty when no entry has
+// finite weight.
+func (r *RNG) CategoricalLog(logw []float64) (int, error) {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, w := range logw {
+		if math.IsInf(w, -1) {
+			continue
+		}
+		v := w + r.Gumbel()
+		if v > bestV {
+			bestV = v
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, ErrEmpty
+	}
+	return best, nil
+}
+
+// MinExponentialLog resolves a race between competing exponential timers
+// whose rates are given in log space: timer i fires after Exp(rate_i) time
+// with log rate_i = logRates[i]. It returns the winning index and the
+// elapsed time until that timer fires. The winner is categorical with
+// P(i) ∝ rate_i and the elapsed time is Exp(Σ rate_i); both are computed
+// without leaving log space. Returns ErrEmpty if no timer has a finite
+// log rate (no timer would ever fire).
+func (r *RNG) MinExponentialLog(logRates []float64) (winner int, elapsed float64, err error) {
+	winner, err = r.CategoricalLog(logRates)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := LogSumExp(logRates) // log Σ rate_i
+	// Exp(rate) sample = standard-exp / rate; division by rate in log space.
+	elapsed = r.src.ExpFloat64() * math.Exp(-total)
+	return winner, elapsed, nil
+}
+
+// WeightedPick samples an index with probability proportional to the given
+// non-negative weights. Returns ErrEmpty when the total weight is zero.
+func (r *RNG) WeightedPick(weights []float64) (int, error) {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0, ErrEmpty
+	}
+	target := r.src.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		target -= w
+		if target <= 0 {
+			return i, nil
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, ErrEmpty
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It returns ErrEmpty when k > n or k < 0.
+func (r *RNG) SampleWithoutReplacement(n, k int) ([]int, error) {
+	if k < 0 || k > n {
+		return nil, ErrEmpty
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	// Partial Fisher-Yates over an index array.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.src.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k], nil
+}
+
+// Zipf returns a sampler of Zipf-distributed values in [0, n) with
+// exponent s > 1 — the standard model for skewed account popularity.
+// Invalid parameters return nil.
+func (r *RNG) Zipf(s float64, n uint64) *rand.Zipf {
+	if s <= 1 || n == 0 {
+		return nil
+	}
+	return rand.NewZipf(r.src, s, 1, n-1)
+}

@@ -1,0 +1,455 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDecorrelated(t *testing.T) {
+	a := New(7).Split()
+	b := New(7) // parent stream, one draw consumed by Split
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream tracks parent: %d identical draws", same)
+	}
+}
+
+func TestSplitNCount(t *testing.T) {
+	rs := New(1).SplitN(5)
+	if len(rs) != 5 {
+		t.Fatalf("SplitN(5) returned %d generators", len(rs))
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range rs {
+		v := r.Uint64()
+		if seen[v] {
+			t.Fatal("two split generators produced the same first draw")
+		}
+		seen[v] = true
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(600)
+	}
+	mean := sum / n
+	if mean < 580 || mean > 620 {
+		t.Fatalf("Exponential(600) empirical mean %.2f out of tolerance", mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	r := New(1)
+	if got := r.Exponential(0); got != 0 {
+		t.Fatalf("Exponential(0) = %v, want 0", got)
+	}
+	if got := r.Exponential(-5); got != 0 {
+		t.Fatalf("Exponential(-5) = %v, want 0", got)
+	}
+}
+
+func TestExponentialRate(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExponentialRate(2.0)
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("ExponentialRate(2) empirical mean %.4f, want ~0.5", mean)
+	}
+	if !math.IsInf(r.ExponentialRate(0), 1) {
+		t.Fatal("ExponentialRate(0) should be +Inf")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("Normal mean %.3f, want ~10", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Fatalf("Normal variance %.3f, want ~9", variance)
+	}
+}
+
+func TestLogNormalMeanSpread(t *testing.T) {
+	r := New(6)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.LogNormalMeanSpread(1850, 0.6)
+	}
+	mean := sum / n
+	if math.Abs(mean-1850) > 40 {
+		t.Fatalf("LogNormalMeanSpread mean %.1f, want ~1850", mean)
+	}
+	if got := r.LogNormalMeanSpread(0, 1); got != 0 {
+		t.Fatalf("LogNormalMeanSpread(0) = %v, want 0", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(8)
+	for _, lambda := range []float64{0.5, 4, 50, 900} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Fatalf("Poisson(%v) empirical mean %.3f", lambda, mean)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) should be 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(5, 7)
+		if v < 5 || v >= 7 {
+			t.Fatalf("Uniform(5,7) produced %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(10)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) empirical %.4f", p)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(11)
+	if _, err := r.Pick(0); err != ErrEmpty {
+		t.Fatal("Pick(0) should return ErrEmpty")
+	}
+	for i := 0; i < 100; i++ {
+		v, err := r.Pick(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v >= 5 {
+			t.Fatalf("Pick(5) = %d", v)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: math.Inf(-1)},
+		{name: "all -inf", give: []float64{math.Inf(-1), math.Inf(-1)}, want: math.Inf(-1)},
+		{name: "single", give: []float64{3}, want: 3},
+		{name: "two equal", give: []float64{0, 0}, want: math.Log(2)},
+		{name: "huge values", give: []float64{1e6, 1e6}, want: 1e6 + math.Log(2)},
+		{name: "mixed with -inf", give: []float64{math.Inf(-1), 2}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := LogSumExp(tt.give)
+			if math.IsInf(tt.want, -1) {
+				if !math.IsInf(got, -1) {
+					t.Fatalf("got %v, want -Inf", got)
+				}
+				return
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLogSumExpMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Mod(v, 20) // keep exp() finite for the naive side
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		var naive float64
+		for _, x := range xs {
+			naive += math.Exp(x)
+		}
+		got := LogSumExp(xs)
+		return math.Abs(got-math.Log(naive)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoricalLogProportions(t *testing.T) {
+	r := New(12)
+	// Weights proportional to exp(0), exp(log 2), exp(log 3) → 1:2:3.
+	logw := []float64{0, math.Log(2), math.Log(3)}
+	counts := make([]int, 3)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		k, err := r.CategoricalLog(logw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[k]++
+	}
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, c := range counts {
+		p := float64(c) / n
+		if math.Abs(p-want[i]) > 0.01 {
+			t.Fatalf("index %d: empirical %.4f, want %.4f", i, p, want[i])
+		}
+	}
+}
+
+func TestCategoricalLogSkipsNegInf(t *testing.T) {
+	r := New(13)
+	logw := []float64{math.Inf(-1), 0, math.Inf(-1)}
+	for i := 0; i < 200; i++ {
+		k, err := r.CategoricalLog(logw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 1 {
+			t.Fatalf("selected -Inf entry %d", k)
+		}
+	}
+	if _, err := r.CategoricalLog([]float64{math.Inf(-1)}); err != ErrEmpty {
+		t.Fatal("all -Inf should return ErrEmpty")
+	}
+}
+
+func TestCategoricalLogHugeWeights(t *testing.T) {
+	// The whole point of the log-space race: weights that would overflow
+	// exp() must still resolve, with the dominant weight always winning
+	// when the margin is astronomically large.
+	r := New(14)
+	logw := []float64{1e5, 2e5, 1.5e5}
+	for i := 0; i < 100; i++ {
+		k, err := r.CategoricalLog(logw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 1 {
+			t.Fatalf("index %d won despite 5e4-nat disadvantage", k)
+		}
+	}
+}
+
+func TestMinExponentialLog(t *testing.T) {
+	r := New(15)
+	// Rates 1 and 3: winner 1 with prob 3/4, mean elapsed 1/4.
+	logRates := []float64{0, math.Log(3)}
+	const n = 120000
+	wins := 0
+	var sumElapsed float64
+	for i := 0; i < n; i++ {
+		w, dt, err := r.MinExponentialLog(logRates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w == 1 {
+			wins++
+		}
+		sumElapsed += dt
+	}
+	if p := float64(wins) / n; math.Abs(p-0.75) > 0.01 {
+		t.Fatalf("win probability %.4f, want 0.75", p)
+	}
+	if m := sumElapsed / n; math.Abs(m-0.25) > 0.01 {
+		t.Fatalf("mean elapsed %.4f, want 0.25", m)
+	}
+}
+
+func TestMinExponentialLogEmpty(t *testing.T) {
+	r := New(16)
+	if _, _, err := r.MinExponentialLog([]float64{math.Inf(-1)}); err != ErrEmpty {
+		t.Fatal("want ErrEmpty for all -Inf rates")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 3)
+	const n = 90000
+	for i := 0; i < n; i++ {
+		k, err := r.WeightedPick([]float64{1, 0, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[k]++
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-weight index selected")
+	}
+	if p := float64(counts[2]) / n; math.Abs(p-2.0/3) > 0.01 {
+		t.Fatalf("index 2 empirical %.4f, want 0.667", p)
+	}
+	if _, err := r.WeightedPick([]float64{0, 0}); err != ErrEmpty {
+		t.Fatal("all-zero weights should return ErrEmpty")
+	}
+	if _, err := r.WeightedPick(nil); err != ErrEmpty {
+		t.Fatal("nil weights should return ErrEmpty")
+	}
+}
+
+func TestWeightedPickNegativeWeightsIgnored(t *testing.T) {
+	r := New(18)
+	for i := 0; i < 100; i++ {
+		k, err := r.WeightedPick([]float64{-5, 1, -2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != 1 {
+			t.Fatalf("negative-weight index %d selected", k)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(19)
+	got, err := r.SampleWithoutReplacement(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("out-of-range index %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+	if _, err := r.SampleWithoutReplacement(3, 4); err != ErrEmpty {
+		t.Fatal("k > n should return ErrEmpty")
+	}
+	if out, err := r.SampleWithoutReplacement(3, 0); err != nil || out != nil {
+		t.Fatal("k == 0 should return nil, nil")
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	r := New(20)
+	counts := make([]int, 5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		got, err := r.SampleWithoutReplacement(5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range got {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		p := float64(c) / float64(2*n)
+		if math.Abs(p-0.2) > 0.01 {
+			t.Fatalf("index %d inclusion %.4f, want 0.2", i, p)
+		}
+	}
+}
+
+func TestGumbelMoments(t *testing.T) {
+	r := New(21)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gumbel()
+	}
+	const eulerGamma = 0.5772156649
+	if m := sum / n; math.Abs(m-eulerGamma) > 0.01 {
+		t.Fatalf("Gumbel mean %.4f, want Euler-Mascheroni %.4f", m, eulerGamma)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(22)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(23)
+	z := r.Zipf(1.5, 1000)
+	if z == nil {
+		t.Fatal("nil sampler for valid params")
+	}
+	counts := make(map[uint64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v >= 1000 {
+			t.Fatalf("out-of-range sample %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 dominates: it must appear far more often than rank 100.
+	if counts[0] < 10*counts[100]+1 {
+		t.Fatalf("no Zipf skew: rank0=%d rank100=%d", counts[0], counts[100])
+	}
+	if r.Zipf(1.0, 10) != nil || r.Zipf(2, 0) != nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,203 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The MVCom evaluation is simulation-driven: committee formation (PoW),
+// overlay configuration, intra-committee PBFT, and the final consensus all
+// run as processes scheduled on a virtual clock. The engine is a classic
+// event-heap design: events carry a virtual timestamp and a callback;
+// Run pops events in (time, sequence) order so that simultaneous events
+// execute in schedule order, which keeps runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Schedule after the engine has been stopped.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Handler is the callback attached to an event. It runs when the virtual
+// clock reaches the event's timestamp.
+type Handler func(now time.Duration)
+
+// Event is a scheduled callback. Events are ordered by timestamp, with the
+// scheduling sequence number breaking ties.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	handler Handler
+	index   int // heap index; -1 once popped or canceled
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	ev *event
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use: all scheduling must happen from the goroutine driving
+// Run/Step (typically from inside handlers).
+type Engine struct {
+	queue     eventHeap
+	now       time.Duration
+	seq       uint64
+	stopped   bool
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues handler to run after delay of virtual time. Negative
+// delays are clamped to zero (the event runs "now", after currently queued
+// same-time events). It returns an EventID usable with Cancel.
+func (e *Engine) Schedule(delay time.Duration, handler Handler) (EventID, error) {
+	if e.stopped {
+		return EventID{}, ErrStopped
+	}
+	if handler == nil {
+		return EventID{}, errors.New("sim: nil handler")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, handler: handler}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}, nil
+}
+
+// ScheduleAt enqueues handler at an absolute virtual time. Times in the
+// past are clamped to the current clock.
+func (e *Engine) ScheduleAt(at time.Duration, handler Handler) (EventID, error) {
+	return e.Schedule(at-e.now, handler)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op that returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Stop prevents any further scheduling and clears the queue.
+func (e *Engine) Stop() {
+	e.stopped = true
+	e.queue = nil
+}
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.processed++
+	ev.handler(e.now)
+	return true
+}
+
+// Run executes events until the queue drains or until the clock would pass
+// horizon (inclusive). A zero horizon means no limit. It returns the number
+// of events executed.
+func (e *Engine) Run(horizon time.Duration) uint64 {
+	var n uint64
+	for len(e.queue) > 0 {
+		if horizon > 0 && e.queue[0].at > horizon {
+			break
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events while pred returns false, stopping as soon as it
+// returns true after an event or when the queue drains. It returns whether
+// pred was satisfied.
+func (e *Engine) RunUntil(pred func() bool) bool {
+	if pred == nil {
+		return false
+	}
+	for !pred() {
+		if !e.Step() {
+			return pred()
+		}
+	}
+	return true
+}
+
+// String describes the engine state for logs.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%s pending=%d processed=%d}", e.now, len(e.queue), e.processed)
+}
+
+// Seconds converts a float seconds count into a virtual-time duration,
+// saturating instead of overflowing for very large values.
+func Seconds(s float64) time.Duration {
+	if math.IsInf(s, 1) || s > math.MaxInt64/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// ToSeconds converts a virtual-time duration into float seconds.
+func ToSeconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mvcom/internal/randx"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	mustSchedule(t, e, 30*time.Second, func(time.Duration) { order = append(order, 3) })
+	mustSchedule(t, e, 10*time.Second, func(time.Duration) { order = append(order, 1) })
+	mustSchedule(t, e, 20*time.Second, func(time.Duration) { order = append(order, 2) })
+	if n := e.Run(0); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if e.Now() != 30*time.Second {
+		t.Fatalf("clock %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, e, time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	mustSchedule(t, e, 5*time.Second, func(now time.Duration) {
+		if _, err := e.Schedule(-time.Hour, func(time.Duration) { fired = true }); err != nil {
+			t.Errorf("schedule: %v", err)
+		}
+	})
+	e.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock moved backwards or forwards: %v", e.Now())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	if _, err := e.ScheduleAt(42*time.Second, func(now time.Duration) { at = now }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if at != 42*time.Second {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(time.Second, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id, err := e.Schedule(time.Second, func(time.Duration) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(id) {
+		t.Fatal("cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double-cancel returned true")
+	}
+	e.Run(0)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	e := NewEngine()
+	id, err := e.Schedule(0, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(0)
+	if e.Cancel(id) {
+		t.Fatal("canceling a fired event returned true")
+	}
+	if e.Cancel(EventID{}) {
+		t.Fatal("canceling the zero EventID returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		i := i
+		id, err := e.Schedule(time.Duration(i+1)*time.Second, func(time.Duration) { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	e.Cancel(ids[2])
+	e.Run(0)
+	want := []int{0, 1, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		mustSchedule(t, e, d, func(now time.Duration) { fired = append(fired, now) })
+	}
+	n := e.Run(2 * time.Second)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("ran %d events: %v", n, fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	// Continue with no horizon.
+	e.Run(0)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		mustSchedule(t, e, time.Duration(i)*time.Second, func(time.Duration) { count++ })
+	}
+	ok := e.RunUntil(func() bool { return count >= 3 })
+	if !ok || count != 3 {
+		t.Fatalf("RunUntil stopped at count=%d ok=%v", count, ok)
+	}
+	ok = e.RunUntil(func() bool { return count >= 100 })
+	if ok || count != 10 {
+		t.Fatalf("RunUntil drained queue: count=%d ok=%v", count, ok)
+	}
+	if e.RunUntil(nil) {
+		t.Fatal("nil predicate should return false")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	mustSchedule(t, e, time.Second, func(time.Duration) { t.Error("event ran after Stop") })
+	e.Stop()
+	if e.Run(0) != 0 {
+		t.Fatal("events ran after Stop")
+	}
+	if _, err := e.Schedule(time.Second, func(time.Duration) {}); err != ErrStopped {
+		t.Fatalf("Schedule after Stop: %v", err)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// A chain of events, each scheduling the next, models a process.
+	e := NewEngine()
+	hops := 0
+	var hop Handler
+	hop = func(now time.Duration) {
+		hops++
+		if hops < 100 {
+			if _, err := e.Schedule(time.Millisecond, hop); err != nil {
+				t.Errorf("schedule: %v", err)
+			}
+		}
+	}
+	mustSchedule(t, e, 0, hop)
+	e.Run(0)
+	if hops != 100 {
+		t.Fatalf("hops %d", hops)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Fatalf("clock %v", e.Now())
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("processed %d", e.Processed())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64, rawDelays []uint32) bool {
+		e := NewEngine()
+		r := randx.New(seed)
+		var stamps []time.Duration
+		for _, d := range rawDelays {
+			delay := time.Duration(d%1000000) * time.Microsecond
+			if _, err := e.Schedule(delay, func(now time.Duration) {
+				stamps = append(stamps, now)
+				// Events may themselves schedule more work.
+				if r.Bool(0.2) && len(stamps) < 5000 {
+					_, _ = e.Schedule(time.Duration(r.Intn(1000))*time.Microsecond, func(now2 time.Duration) {
+						stamps = append(stamps, now2)
+					})
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		e.Run(0)
+		return sort.SliceIsSorted(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	tests := []struct {
+		give float64
+		want time.Duration
+	}{
+		{0, 0},
+		{-1, 0},
+		{1.5, 1500 * time.Millisecond},
+		{600, 600 * time.Second},
+	}
+	for _, tt := range tests {
+		if got := Seconds(tt.give); got != tt.want {
+			t.Fatalf("Seconds(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+	if Seconds(math.Inf(1)) != time.Duration(math.MaxInt64) {
+		t.Fatal("Seconds(+Inf) should saturate")
+	}
+	if Seconds(1e300) != time.Duration(math.MaxInt64) {
+		t.Fatal("Seconds(1e300) should saturate")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := float64(raw%1000000) / 1000.0
+		return math.Abs(ToSeconds(Seconds(s))-s) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	e := NewEngine()
+	mustSchedule(t, e, time.Second, func(time.Duration) {})
+	if s := e.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func mustSchedule(t *testing.T, e *Engine, d time.Duration, h Handler) EventID {
+	t.Helper()
+	id, err := e.Schedule(d, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
