@@ -213,11 +213,47 @@ func BenchmarkAblationGumbel(b *testing.B) {
 	})
 }
 
-// BenchmarkSESolve measures the solver end-to-end at three instance sizes.
+// BenchmarkSESolve measures the solver end-to-end across the paper's Γ
+// scaling knob, comparing the serial kernel (Workers=1) against the
+// concurrent one (Workers=0 → GOMAXPROCS). The fixed iteration budget
+// makes work per op identical across kernels — per-explorer split RNG
+// streams mean both converge to the exact same utility — so the ns/op
+// ratio is pure parallel speedup.
 func BenchmarkSESolve(b *testing.B) {
+	in := benchInstance(b, 200)
+	for _, gamma := range []int{1, 8, 25} {
+		b.Run(fmt.Sprintf("gamma=%d", gamma), func(b *testing.B) {
+			for _, kernel := range []struct {
+				name    string
+				workers int
+			}{{"serial", 1}, {"parallel", 0}} {
+				b.Run(kernel.name, func(b *testing.B) {
+					b.ReportAllocs()
+					var util float64
+					for i := 0; i < b.N; i++ {
+						sol, _, err := core.NewSE(core.SEConfig{
+							Seed: 1, Gamma: gamma, Workers: kernel.workers,
+							MaxIters: 2000, ConvergenceWindow: 2000,
+						}).Solve(in.Clone())
+						if err != nil {
+							b.Fatal(err)
+						}
+						util = sol.Utility
+					}
+					b.ReportMetric(util, "utility")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSESolveSize measures the solver end-to-end at three instance
+// sizes.
+func BenchmarkSESolveSize(b *testing.B) {
 	for _, n := range []int{50, 200, 500} {
 		in := benchInstance(b, n)
 		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.NewSE(core.SEConfig{
 					Seed: 1, MaxIters: 300, ConvergenceWindow: 300,

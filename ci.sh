@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: build, vet, and run the full test suite under the race
+# detector. The SE kernel is concurrent by default (SEConfig.Workers
+# 0 = GOMAXPROCS), so -race exercises the real production path.
+set -eux
+
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test -race ./...

@@ -34,13 +34,22 @@ func run(args []string) error {
 		scale  = fs.Float64("scale", 1.0, "size scale in (0,1]; 1 = paper parameters")
 		seed   = fs.Int64("seed", 1, "random seed")
 		out    = fs.String("out", "", "output directory (default: stdout)")
-		ascii  = fs.Bool("ascii", false, "also render an ASCII chart to stderr")
-		report = fs.Bool("report", false, "emit a markdown report instead of TSV")
+		ascii   = fs.Bool("ascii", false, "also render an ASCII chart to stderr")
+		report  = fs.Bool("report", false, "emit a markdown report instead of TSV")
+		sebench = fs.Bool("sebench", false, "benchmark the SE kernel (serial vs parallel per Γ) and write BENCH_SE.json")
+		workers = fs.Int("workers", 0, "SE kernel worker goroutines for figure runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	if *sebench {
+		dir := *out
+		if dir == "" {
+			dir = "results"
+		}
+		return runSEBench(dir, *seed)
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
 
 	ids := []string{*fig}
 	if *fig == "all" {

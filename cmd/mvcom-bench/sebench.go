@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"mvcom/internal/core"
+	"mvcom/internal/experiments"
+)
+
+// seBenchEntry is one cell of the SE kernel benchmark grid.
+type seBenchEntry struct {
+	Name        string  `json:"name"`
+	Gamma       int     `json:"gamma"`
+	Workers     int     `json:"workers"` // configured: 1 = serial kernel, 0 = GOMAXPROCS
+	NsPerOp     int64   `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	Utility     float64 `json:"utility"`
+	Iterations  int     `json:"iterations"`
+}
+
+// seBenchReport is the machine-readable perf snapshot written to
+// BENCH_SE.json so future changes have a trajectory to diff against.
+// GoMaxProcs/NumCPU give the context needed to interpret serial-vs-
+// parallel ratios (on a single-core runner they coincide by design).
+type seBenchReport struct {
+	GeneratedAt string         `json:"generatedAt"`
+	GoVersion   string         `json:"goVersion"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"numCpu"`
+	Shards      int            `json:"shards"`
+	MaxIters    int            `json:"maxIters"`
+	Seed        int64          `json:"seed"`
+	Entries     []seBenchEntry `json:"entries"`
+}
+
+// runSEBench benchmarks the SE kernel over Γ ∈ {1, 8, 25}, serial vs
+// parallel, at a fixed iteration budget (so ns/op ratios are pure kernel
+// speed and the converged utility doubles as a correctness check — the
+// kernels must agree exactly for every Γ).
+func runSEBench(outDir string, seed int64) error {
+	const (
+		shards   = 200
+		maxIters = 2000
+	)
+	in, err := experiments.PaperInstance(seed, shards, shards*800, 1.5, 0.5)
+	if err != nil {
+		return err
+	}
+	report := seBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Shards:      shards,
+		MaxIters:    maxIters,
+		Seed:        seed,
+	}
+	for _, gamma := range []int{1, 8, 25} {
+		for _, kernel := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			cfg := core.SEConfig{
+				Seed: seed, Gamma: gamma, Workers: kernel.workers,
+				MaxIters: maxIters, ConvergenceWindow: maxIters,
+			}
+			var util float64
+			var iters int
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sol, _, err := core.NewSE(cfg).Solve(in.Clone())
+					if err != nil {
+						b.Fatal(err)
+					}
+					util = sol.Utility
+					iters = sol.Iterations
+				}
+			})
+			entry := seBenchEntry{
+				Name:        fmt.Sprintf("SESolve/gamma=%d/%s", gamma, kernel.name),
+				Gamma:       gamma,
+				Workers:     kernel.workers,
+				NsPerOp:     res.NsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				Utility:     util,
+				Iterations:  iters,
+			}
+			report.Entries = append(report.Entries, entry)
+			fmt.Fprintf(os.Stderr, "# %-28s %12d ns/op %8d allocs/op utility %.0f\n",
+				entry.Name, entry.NsPerOp, entry.AllocsPerOp, entry.Utility)
+		}
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_SE.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# SE kernel benchmark -> %s\n", path)
+	return nil
+}

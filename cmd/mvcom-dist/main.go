@@ -37,6 +37,8 @@ func run(args []string) error {
 		connect  = fs.String("connect", "127.0.0.1:9700", "coordinator address (worker mode)")
 		id       = fs.String("id", "worker-1", "worker id (worker mode)")
 		workers  = fs.Int("workers", 2, "number of workers to wait for / spawn")
+		gamma    = fs.Int("gamma", 1, "explorers Γ each worker runs in-process")
+		sework   = fs.Int("se-workers", 0, "goroutines per worker's SE kernel (0 = GOMAXPROCS)")
 		shards   = fs.Int("shards", 50, "number of member committees |I|")
 		capacity = fs.Int("capacity", 40000, "final-block TX capacity Ĉ")
 		alpha    = fs.Float64("alpha", 1.5, "throughput weight α")
@@ -70,6 +72,8 @@ func run(args []string) error {
 			Workers:    *workers,
 			RunTimeout: *timeout,
 			Seed:       *seed,
+			Gamma:      *gamma,
+			SEWorkers:  *sework,
 		})
 		if err != nil {
 			return err

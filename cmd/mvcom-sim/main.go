@@ -50,6 +50,7 @@ func run(args []string) error {
 		drift       = fs.Float64("hash-drift", 1.0, "hash-power multiplier per epoch")
 		scheduler   = fs.String("scheduler", "se", "se | sa | dp | woa | greedy | acceptall")
 		gamma       = fs.Int("gamma", 10, "SE parallel exploration threads")
+		workers     = fs.Int("workers", 0, "SE kernel worker goroutines (0 = GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,7 +81,7 @@ func run(args []string) error {
 		return fmt.Errorf("capacity fraction %v too small", *capFrac)
 	}
 	nmin := int(*nminFrac * float64(*committees))
-	sched, err := pickScheduler(*scheduler, *seed, *gamma)
+	sched, err := pickScheduler(*scheduler, *seed, *gamma, *workers)
 	if err != nil {
 		return err
 	}
@@ -120,11 +121,11 @@ func run(args []string) error {
 	return nil
 }
 
-func pickScheduler(name string, seed int64, gamma int) (epoch.Scheduler, error) {
+func pickScheduler(name string, seed int64, gamma, workers int) (epoch.Scheduler, error) {
 	switch strings.ToLower(name) {
 	case "se":
 		return epoch.SolverScheduler{Solver: core.NewSE(core.SEConfig{
-			Seed: seed, Gamma: gamma, MaxIters: 8000,
+			Seed: seed, Gamma: gamma, Workers: workers, MaxIters: 8000,
 		})}, nil
 	case "sa":
 		return epoch.SolverScheduler{Solver: baseline.SA{Seed: seed, Iterations: 8000}}, nil

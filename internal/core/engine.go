@@ -39,18 +39,24 @@ func (e *Engine) Converged() bool { return e.trivial != nil }
 // Step advances every explorer by one transition round and reports whether
 // the global best improved. Stepping a trivially converged engine is a
 // no-op returning false.
-func (e *Engine) Step() bool {
-	if e.trivial != nil {
+func (e *Engine) Step() bool { return e.StepN(1) }
+
+// StepN advances every explorer by n transition rounds — concurrently
+// across explorers when the configuration allows — and reports whether
+// the global best improved anywhere in the window. Batching rounds
+// through StepN is what lets a driver keep the parallel kernel busy
+// between coordination points instead of paying a goroutine fan-out per
+// round.
+func (e *Engine) StepN(n int) bool {
+	if e.trivial != nil || n <= 0 {
 		return false
 	}
-	e.iter++
+	a := e.iter
+	e.iter += n
+	e.r.stepSegment(a, e.iter)
+	var sinceImprove int
+	_, _, improved := e.r.mergeSegment(a, e.iter, -1, nil, &sinceImprove, false)
 	e.r.iterations = e.iter
-	improved := false
-	for _, ex := range e.r.explorers {
-		if ex.step() {
-			improved = true
-		}
-	}
 	return improved
 }
 
@@ -59,7 +65,8 @@ func (e *Engine) Iterations() int { return e.iter }
 
 // BestUtility returns the best utility observed so far (the trivial
 // solution's utility when born converged; -Inf before any feasible
-// solution exists).
+// solution exists). It reads the atomically published best snapshot, so
+// it is safe to call from any goroutine.
 func (e *Engine) BestUtility() float64 {
 	if e.trivial != nil {
 		return e.trivial.Utility
@@ -76,6 +83,8 @@ func (e *Engine) Best() (Solution, error) {
 }
 
 // ApplyEvent injects a dynamic join/leave event into the running chain.
+// It must not be called concurrently with StepN; like the batched solver
+// loops, events belong to synchronization points.
 func (e *Engine) ApplyEvent(ev Event) error {
 	if e.trivial != nil {
 		// The candidate set changed: the trivial shortcut no longer

@@ -46,6 +46,38 @@ type Event struct {
 	Latency float64
 }
 
+// eventCursor feeds a sorted event stream into the batched loop. Events
+// are applied at synchronization points only; the loop truncates every
+// segment at the next pending event's round, so each event still fires at
+// its exact iteration.
+type eventCursor struct {
+	events []Event // sorted by AtIteration, ties in slice order
+	next   int
+	err    error
+}
+
+// applyDue applies every event scheduled at or before the given round and
+// reports whether any fired. The first apply error is retained.
+func (c *eventCursor) applyDue(r *run, round int) bool {
+	applied := false
+	for c.next < len(c.events) && c.events[c.next].AtIteration <= round {
+		if err := r.applyEvent(c.events[c.next]); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.next++
+		applied = true
+	}
+	return applied
+}
+
+// nextAt returns the round of the next pending event, or MaxInt.
+func (c *eventCursor) nextAt() int {
+	if c.next < len(c.events) {
+		return c.events[c.next].AtIteration
+	}
+	return math.MaxInt
+}
+
 // SolveOnline runs the SE algorithm while handling a stream of dynamic
 // join/leave events. Events are applied in AtIteration order (ties keep
 // slice order). The returned solution reflects the final candidate set;
@@ -63,21 +95,10 @@ func (se *SE) SolveOnline(in Instance, events []Event) (Solution, []TracePoint, 
 	sort.SliceStable(ordered, func(i, j int) bool {
 		return ordered[i].AtIteration < ordered[j].AtIteration
 	})
-	next := 0
-	var applyErr error
-	trace := run.loop(func(iter int) bool {
-		forced := false
-		for next < len(ordered) && ordered[next].AtIteration <= iter {
-			if err := run.applyEvent(ordered[next]); err != nil && applyErr == nil {
-				applyErr = err
-			}
-			next++
-			forced = true
-		}
-		return forced
-	})
-	if applyErr != nil {
-		return Solution{}, trace, applyErr
+	cursor := &eventCursor{events: ordered}
+	trace := run.loop(cursor)
+	if cursor.err != nil {
+		return Solution{}, trace, cursor.err
 	}
 	sol, err := run.best()
 	if err != nil {
@@ -86,7 +107,9 @@ func (se *SE) SolveOnline(in Instance, events []Event) (Solution, []TracePoint, 
 	return sol, trace, nil
 }
 
-// applyEvent mutates the candidate set and repairs explorer state.
+// applyEvent mutates the candidate set and repairs explorer state. It is
+// only called at synchronization points, never while a segment is being
+// stepped.
 func (r *run) applyEvent(ev Event) error {
 	switch ev.Kind {
 	case EventJoin:
@@ -136,12 +159,15 @@ func (r *run) applyJoin(ev Event) error {
 		return nil
 	}
 	r.candidates = append(r.candidates, idx)
+	r.refreshCandidateCaches()
 	r.refreshBetaEff()
 	for _, ex := range r.explorers {
 		ex.extendForJoin()
+		r.adoptLocal(ex)
 	}
 	// Re-offer the full selection under the grown candidate set.
 	r.offerFullIfFeasible()
+	r.publishBest()
 	return nil
 }
 
@@ -165,59 +191,63 @@ func (r *run) applyLeave(ev Event) error {
 	r.candidates[pos] = r.candidates[last]
 	r.candidates = r.candidates[:last]
 	movedFrom := last // candidate position that moved into pos
+	r.refreshCandidateCaches()
 	r.refreshBetaEff()
 	for _, ex := range r.explorers {
 		ex.shrinkForLeave(pos, movedFrom)
 	}
-	// The recorded best may reference the departed shard: invalidate and
+	// The recorded bests may reference the departed shard: invalidate and
 	// let the trimmed chain re-discover (the paper's utility dip).
-	r.invalidateBest(ev.Index)
+	r.invalidateBest()
 	r.offerFullIfFeasible()
+	r.publishBest()
 	return nil
 }
 
-// invalidateBest drops the stored best solution if it contains the given
-// instance index, then re-seeds the best from the surviving threads.
-func (r *run) invalidateBest(instanceIdx int) {
-	if !r.haveBest {
-		return
-	}
-	// bestSel is stored over candidate positions of the time it was
-	// recorded; positions may have shifted since. Conservatively rebuild:
-	// drop it and re-offer every live thread.
-	r.haveBest = false
-	r.bestUtil = math.Inf(-1)
-	r.bestSel = nil
+// invalidateBest drops the stored global and per-explorer bests (their
+// candidate positions went stale after a leave) and re-seeds them from
+// the surviving threads.
+func (r *run) invalidateBest() {
+	r.global.have = false
+	r.global.util = math.Inf(-1)
+	r.global.sel = nil
+	r.globalDirty = true
 	for _, ex := range r.explorers {
-		for _, th := range ex.threads {
-			if th.active {
-				r.offerBest(th.selected, th.n, th.util)
-			}
-		}
+		ex.resetLocalBest()
+		r.adoptLocal(ex)
 	}
 }
 
-// offerFullIfFeasible re-evaluates the all-candidates selection f_|I|.
+// offerFullIfFeasible re-evaluates the all-candidates selection f_|I|
+// directly against the global best; it belongs to the run, not any
+// explorer (Alg. 1 line 25).
 func (r *run) offerFullIfFeasible() {
 	k := len(r.candidates)
-	if k == 0 {
+	if k == 0 || k < r.in.Nmin {
 		return
 	}
-	full := make([]bool, k)
 	load, util := 0, 0.0
-	for posIdx, idx := range r.candidates {
-		full[posIdx] = true
-		load += r.in.Sizes[idx]
-		util += r.in.Value(idx)
+	for pos := range r.candidates {
+		load += r.sizes[pos]
+		util += r.vals[pos]
 	}
-	if load <= r.in.Capacity {
-		r.offerBest(full, k, util)
+	if load > r.in.Capacity {
+		return
+	}
+	if !r.global.have || util > r.global.util {
+		full := make([]bool, k)
+		for pos := range full {
+			full[pos] = true
+		}
+		r.global.util, r.global.sel, r.global.n, r.global.have = util, full, k, true
+		r.globalDirty = true
 	}
 }
 
 // extendForJoin grows every thread's candidate-position arrays by one
 // (the new position starts unselected) and adds the new maximum
-// cardinality thread f_{K-1}.
+// cardinality thread f_{K-1}. New feasible threads are offered to the
+// explorer's local best; the caller folds it into the global tracker.
 func (ex *explorer) extendForJoin() {
 	k := len(ex.run.candidates)
 	newPos := k - 1
@@ -229,25 +259,25 @@ func (ex *explorer) extendForJoin() {
 		th.posInSel = append(th.posInSel, -1)
 		th.posInUns = append(th.posInUns, len(th.unselIdx))
 		th.unselIdx = append(th.unselIdx, newPos)
-		if th.active {
-			ex.setTimer(th)
-		}
 	}
 	// New top cardinality n = K-1 (threads exist for 1..K-1).
 	th := ex.initThread(k - 1)
 	ex.threads = append(ex.threads, th)
 	if th.active {
-		ex.run.offerBest(th.selected, th.n, th.util)
-		ex.setTimer(th)
+		ex.offer(th, 0)
 	}
 	ex.logRates = make([]float64, len(ex.threads))
+	ex.weights = make([]float64, len(ex.threads))
+	ex.refreshRateBases()
+	ex.rearm()
 }
 
 // shrinkForLeave repairs threads after candidate position pos was
 // swap-removed (former tail position movedFrom now lives at pos). Threads
 // containing the departed shard are re-initialized from scratch at the
 // same cardinality; the rest only remap positions. The largest
-// cardinality thread is dropped (K shrank by one).
+// cardinality thread is dropped (K shrank by one). Local-best re-seeding
+// happens afterwards in invalidateBest.
 func (ex *explorer) shrinkForLeave(pos, movedFrom int) {
 	k := len(ex.run.candidates) // already shrunk
 	keep := ex.threads[:0]
@@ -255,34 +285,21 @@ func (ex *explorer) shrinkForLeave(pos, movedFrom int) {
 		if th.n > k-1 {
 			continue // cardinality no longer exists
 		}
-		if !th.active || th.selected == nil {
-			// Inactive cardinality: retry initialization in the trimmed
-			// space.
-			nth := ex.initThread(th.n)
-			if nth.active {
-				ex.run.offerBest(nth.selected, nth.n, nth.util)
-				ex.setTimer(nth)
-			}
-			keep = append(keep, nth)
-			continue
-		}
-		if th.selected[pos] {
-			// Solution contained the failed shard: trimmed from the
-			// space; re-initialize this cardinality (Alg. 1 line 11).
-			nth := ex.initThread(th.n)
-			if nth.active {
-				ex.run.offerBest(nth.selected, nth.n, nth.util)
-				ex.setTimer(nth)
-			}
-			keep = append(keep, nth)
+		if !th.active || th.selected == nil || th.selected[pos] {
+			// Inactive cardinality, or the solution contained the failed
+			// shard: trimmed from the space; re-initialize this
+			// cardinality in the trimmed space (Alg. 1 line 11).
+			keep = append(keep, ex.initThread(th.n))
 			continue
 		}
 		th.removePosition(pos, movedFrom)
-		ex.setTimer(th)
 		keep = append(keep, th)
 	}
 	ex.threads = keep
 	ex.logRates = make([]float64, len(ex.threads))
+	ex.weights = make([]float64, len(ex.threads))
+	ex.refreshRateBases()
+	ex.rearm()
 }
 
 // removePosition deletes candidate position pos (unselected in this

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mvcom/internal/randx"
 )
@@ -37,6 +40,14 @@ type SEConfig struct {
 	// reports the best solution across explorers after every round.
 	// Default 1.
 	Gamma int
+	// Workers bounds how many OS-level worker goroutines advance the Γ
+	// explorers between synchronization points. 0 (the default) means
+	// GOMAXPROCS; 1 forces the serial kernel; values above Γ are capped
+	// at Γ (one goroutine per explorer is the maximum useful
+	// parallelism). Because every explorer owns a split RNG stream and
+	// all cross-explorer state is merged deterministically at sync
+	// points, results are bit-identical for every Workers value.
+	Workers int
 	// MaxIters caps the number of transition rounds. Default 20000.
 	MaxIters int
 	// ConvergenceWindow stops the run once the best utility has not
@@ -96,6 +107,22 @@ func (c SEConfig) withDefaults() SEConfig {
 	return c
 }
 
+// resolveWorkers maps the Workers knob to an actual goroutine count: 0
+// (auto) takes GOMAXPROCS, and no more than one worker per explorer is
+// ever useful.
+func resolveWorkers(workers, gamma int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > gamma {
+		workers = gamma
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // TracePoint records the best-so-far utility after a transition round; the
 // sequence of points is the convergence curve plotted in Figs. 8–14.
 type TracePoint struct {
@@ -137,6 +164,26 @@ func (se *SE) Solve(in Instance) (Solution, []TracePoint, error) {
 	return sol, trace, nil
 }
 
+// syncRounds is the batch length R: how many transition rounds every
+// explorer advances between synchronization points. Within a batch the
+// explorers are fully independent (own RNG stream, own threads, own local
+// best), so they run on separate goroutines with no shared mutable state;
+// at the sync point the coordinator merges their improvement logs in a
+// deterministic order. 64 rounds amortize the goroutine handoff well below
+// the per-round cost while keeping the convergence check responsive (the
+// default window is 400 rounds).
+const syncRounds = 64
+
+// bestSnapshot is the atomically published view of the global best. The
+// struct and its sel slice are immutable after publication, so readers on
+// any goroutine (Engine.BestUtility under a concurrently stepping kernel,
+// monitoring hooks) need no lock.
+type bestSnapshot struct {
+	util float64
+	sel  []bool // over candidate positions; never mutated after publish
+	n    int
+}
+
 // run is the shared machinery of Solve and SolveOnline: the candidate
 // set, Γ explorers, and the global best tracker.
 type run struct {
@@ -146,16 +193,37 @@ type run struct {
 	candidates []int // instance indices of arrived shards
 	explorers  []*explorer
 	rootRNG    *randx.RNG
+	workers    int
+
+	// vals and sizes cache Value(i) and Sizes[i] per candidate position so
+	// the hot loop never chases the instance indirection; rebuilt on every
+	// dynamic event.
+	vals  []float64
+	sizes []int
 
 	// betaEff is the effective β used in timer rates: cfg.Beta divided by
 	// the mean per-shard |value| unless normalization is disabled.
-	betaEff float64
+	// halfBeta caches ½·betaEff for the per-round rate computation.
+	betaEff  float64
+	halfBeta float64
 
-	bestUtil   float64
-	bestSel    []bool // over candidate positions
-	bestN      int
-	haveBest   bool
-	iterations int
+	// global is the coordinator's view of the best solution; it is only
+	// touched between segments (single-threaded). snap is the published
+	// lock-free copy for cross-goroutine readers.
+	global struct {
+		util float64
+		sel  []bool
+		n    int
+		have bool
+	}
+	// globalDirty marks that global changed since the last publish, so
+	// no-improvement merges (the common case when an Engine steps round by
+	// round) skip the snapshot allocation.
+	globalDirty bool
+	snap        atomic.Pointer[bestSnapshot]
+
+	mergeCursors []int
+	iterations   int
 }
 
 func newRun(in *Instance, cfg SEConfig) (*run, error) {
@@ -168,13 +236,24 @@ func newRun(in *Instance, cfg SEConfig) (*run, error) {
 		cfg:        cfg,
 		candidates: cands,
 		rootRNG:    randx.New(cfg.Seed),
-		bestUtil:   math.Inf(-1),
+		workers:    resolveWorkers(cfg.Workers, cfg.Gamma),
 	}
+	r.global.util = math.Inf(-1)
+	r.refreshCandidateCaches()
 	r.refreshBetaEff()
 	r.explorers = make([]*explorer, cfg.Gamma)
 	for g := range r.explorers {
 		r.explorers[g] = newExplorer(r, r.rootRNG.Split())
 	}
+	r.mergeCursors = make([]int, len(r.explorers))
+	for _, ex := range r.explorers {
+		r.adoptLocal(ex)
+	}
+	// The full selection f_|I| participates in the final arg-max when Ĉ
+	// permits it (Alg. 1 line 25). It does not depend on any explorer, so
+	// it is evaluated once per solve here rather than once per explorer.
+	r.offerFullIfFeasible()
+	r.publishBest()
 	return r, nil
 }
 
@@ -184,20 +263,33 @@ func newRun(in *Instance, cfg SEConfig) (*run, error) {
 // chain uphill, weak enough that explorers keep diverging.
 const rateNormalization = 8
 
-// refreshBetaEff recomputes the effective β from the live candidate set;
+// refreshCandidateCaches rebuilds the per-position value/size caches;
 // called at construction and after every dynamic event.
+func (r *run) refreshCandidateCaches() {
+	k := len(r.candidates)
+	r.vals = make([]float64, k)
+	r.sizes = make([]int, k)
+	for pos, idx := range r.candidates {
+		r.vals[pos] = r.in.Value(idx)
+		r.sizes[pos] = r.in.Sizes[idx]
+	}
+}
+
+// refreshBetaEff recomputes the effective β from the live candidate set;
+// called at construction and after every dynamic event (after
+// refreshCandidateCaches).
 func (r *run) refreshBetaEff() {
 	r.betaEff = r.cfg.Beta
-	if r.cfg.DisableRateNormalization || len(r.candidates) == 0 {
-		return
+	if !r.cfg.DisableRateNormalization && len(r.vals) > 0 {
+		var absSum float64
+		for _, v := range r.vals {
+			absSum += math.Abs(v)
+		}
+		if scale := absSum / float64(len(r.vals)); scale > 0 {
+			r.betaEff = rateNormalization * r.cfg.Beta / scale
+		}
 	}
-	var absSum float64
-	for _, i := range r.candidates {
-		absSum += math.Abs(r.in.Value(i))
-	}
-	if scale := absSum / float64(len(r.candidates)); scale > 0 {
-		r.betaEff = rateNormalization * r.cfg.Beta / scale
-	}
+	r.halfBeta = 0.5 * r.betaEff
 }
 
 // trivial handles the bootstrap condition of Alg. 1 line 1: the stochastic
@@ -218,74 +310,184 @@ func (r *run) trivial() (Solution, bool) {
 	return NewSolution(r.in, sel), true
 }
 
-// loop advances all explorers in lockstep rounds until convergence or the
-// iteration cap, recording the global best utility after each round. The
-// onRound hook, when non-nil, runs before each round and lets the online
-// wrapper inject join/leave events; it returns true to force a trace point
-// even without improvement.
-func (r *run) loop(onRound func(iter int) bool) []TracePoint {
+// loop advances all explorers in synchronized batches until convergence or
+// the iteration cap, recording the global best utility after each round it
+// improved. The eventCursor, when non-nil, injects join/leave events at
+// their exact iterations (segments are truncated so no event falls inside
+// a batch) and disables early convergence stopping — the online run keeps
+// exploring through the full iteration budget, exactly like the previous
+// per-round online loop.
+func (r *run) loop(ev *eventCursor) []TracePoint {
 	trace := make([]TracePoint, 0, 256)
 	sinceImprove := 0
-	for iter := 1; iter <= r.cfg.MaxIters; iter++ {
-		forcePoint := false
-		if onRound != nil {
-			forcePoint = onRound(iter)
+	iter := 0
+	for iter < r.cfg.MaxIters {
+		next := iter + syncRounds
+		if next > r.cfg.MaxIters {
+			next = r.cfg.MaxIters
 		}
-		improved := false
-		for _, ex := range r.explorers {
-			if ex.step() {
-				improved = true
+		forcedRound := -1
+		if ev != nil {
+			// Events due at round iter+1 fire before that round is
+			// stepped, matching the old hook that ran at the top of every
+			// round; the segment is then bounded so the next pending event
+			// still lands on its exact round.
+			if ev.applyDue(r, iter+1) {
+				forcedRound = iter + 1
+			}
+			if bound := ev.nextAt() - 1; bound >= iter+1 && bound < next {
+				next = bound
 			}
 		}
-		r.iterations = iter
-		if improved {
-			sinceImprove = 0
-		} else {
-			sinceImprove++
-		}
-		if improved || forcePoint || len(trace) == 0 {
-			trace = append(trace, TracePoint{Iteration: iter, Utility: r.bestObserved()})
-		}
-		if onRound == nil && sinceImprove >= r.cfg.ConvergenceWindow {
+		r.stepSegment(iter, next)
+		stopRound, stopped, _ := r.mergeSegment(iter, next, forcedRound, &trace, &sinceImprove, ev == nil)
+		if stopped {
+			iter = stopRound
 			break
 		}
+		iter = next
 	}
-	trace = append(trace, TracePoint{Iteration: r.iterations, Utility: r.bestObserved()})
+	r.iterations = iter
+	trace = append(trace, TracePoint{Iteration: iter, Utility: r.globalUtil()})
 	return trace
 }
 
-// bestObserved returns the best utility seen so far, or -Inf.
-func (r *run) bestObserved() float64 { return r.bestUtil }
+// stepSegment advances every explorer through transition rounds (a, b].
+// With one worker (or one explorer) it runs inline; otherwise a small
+// worker pool picks explorers off an atomic counter. Explorers share no
+// mutable state during a segment — they read the run's frozen caches and
+// write only their own fields — so the only synchronization is the final
+// WaitGroup barrier.
+func (r *run) stepSegment(a, b int) {
+	if b <= a {
+		return
+	}
+	if r.workers <= 1 || len(r.explorers) <= 1 {
+		for _, ex := range r.explorers {
+			ex.stepBatch(a, b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g := int(next.Add(1)) - 1
+				if g >= len(r.explorers) {
+					return
+				}
+				r.explorers[g].stepBatch(a, b)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
-// offerBest lets explorers report candidate-best solutions that satisfy
-// Nmin; the run keeps the max (Alg. 1 lines 22–27).
-func (r *run) offerBest(sel []bool, n int, util float64) bool {
-	if n < r.in.Nmin {
-		return false
+// mergeSegment folds the explorers' improvement logs for rounds (a, b]
+// into the global best in deterministic (round, explorer) order — the
+// same order the serial kernel would have observed — so traces and
+// results are bit-identical for every Workers value. It walks the rounds
+// to maintain the convergence window exactly; when the window closes at
+// round t* < b, improvements recorded after t* are discarded, as if the
+// run had stopped there. forcedRound, when ≥ 0, forces a trace point at
+// that round (online event markers). Returns the stop round, whether the
+// window closed, and whether the global best improved at all.
+func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImprove *int, allowStop bool) (int, bool, bool) {
+	cur := r.mergeCursors
+	for g := range cur {
+		cur[g] = 0
 	}
-	if r.haveBest && util <= r.bestUtil {
-		return false
+	stopRound, stopped, anyImproved := b, false, false
+	for round := a + 1; round <= b && !stopped; round++ {
+		improved := false
+		for g, ex := range r.explorers {
+			for cur[g] < len(ex.events) && ex.events[cur[g]].round == round {
+				e := ex.events[cur[g]]
+				cur[g]++
+				if !r.global.have || e.util > r.global.util {
+					r.global.util, r.global.sel, r.global.n, r.global.have = e.util, e.sel, e.n, true
+					r.globalDirty = true
+					improved = true
+				}
+			}
+		}
+		if improved {
+			anyImproved = true
+			*sinceImprove = 0
+		} else {
+			*sinceImprove++
+		}
+		if trace != nil && (improved || round == forcedRound || len(*trace) == 0) {
+			*trace = append(*trace, TracePoint{Iteration: round, Utility: r.globalUtil()})
+		}
+		if allowStop && *sinceImprove >= r.cfg.ConvergenceWindow {
+			stopRound, stopped = round, true
+		}
 	}
-	if r.bestSel == nil || len(r.bestSel) != len(sel) {
-		r.bestSel = make([]bool, len(sel))
+	for _, ex := range r.explorers {
+		ex.events = ex.events[:0]
 	}
-	copy(r.bestSel, sel)
-	r.bestUtil = util
-	r.bestN = n
-	r.haveBest = true
-	return true
+	r.publishBest()
+	return stopRound, stopped, anyImproved
+}
+
+// adoptLocal folds one explorer's local best into the global tracker;
+// only used at sync points (construction and dynamic events).
+func (r *run) adoptLocal(ex *explorer) {
+	if !ex.haveBest {
+		return
+	}
+	if !r.global.have || ex.bestUtil > r.global.util {
+		r.global.util, r.global.sel, r.global.n, r.global.have = ex.bestUtil, ex.bestSel, ex.bestN, true
+		r.globalDirty = true
+	}
+}
+
+// publishBest stores an immutable snapshot of the global best for
+// lock-free readers.
+func (r *run) publishBest() {
+	if !r.globalDirty {
+		return
+	}
+	r.globalDirty = false
+	if !r.global.have {
+		r.snap.Store(nil)
+		return
+	}
+	r.snap.Store(&bestSnapshot{util: r.global.util, sel: r.global.sel, n: r.global.n})
+}
+
+// globalUtil returns the coordinator-side best utility, or -Inf.
+func (r *run) globalUtil() float64 {
+	if r.global.have {
+		return r.global.util
+	}
+	return math.Inf(-1)
+}
+
+// bestObserved returns the best utility seen so far, or -Inf. It reads
+// the published snapshot, so it is safe from any goroutine even while a
+// segment is being stepped.
+func (r *run) bestObserved() float64 {
+	if s := r.snap.Load(); s != nil {
+		return s.util
+	}
+	return math.Inf(-1)
 }
 
 // best converts the best candidate-space selection into an instance-space
 // Solution. It returns ErrInfeasible when no thread ever produced a
 // selection meeting Nmin.
 func (r *run) best() (Solution, error) {
-	if !r.haveBest {
+	if !r.global.have {
 		return Solution{}, fmt.Errorf("%w: |I|=%d Nmin=%d capacity=%d",
 			ErrInfeasible, len(r.candidates), r.in.Nmin, r.in.Capacity)
 	}
 	sel := make([]bool, r.in.NumShards())
-	for pos, on := range r.bestSel {
+	for pos, on := range r.global.sel {
 		if on {
 			sel[r.candidates[pos]] = true
 		}
@@ -295,16 +497,40 @@ func (r *run) best() (Solution, error) {
 	return sol, nil
 }
 
+// improvement is one local-best improvement recorded by an explorer
+// during a segment: round number, the new utility, and an immutable
+// snapshot of the selection. The coordinator replays these logs in
+// (round, explorer) order at the sync point.
+type improvement struct {
+	round int
+	util  float64
+	n     int
+	sel   []bool // immutable snapshot
+}
+
 // explorer runs one independent copy of the designed Markov chain: one
 // solution thread f_n per cardinality n ∈ {1..K−1} (Alg. 1 line 3), each
 // holding an exponential timer whose rate follows equation (8).
+//
+// During a segment an explorer is owned by exactly one worker goroutine;
+// everything it mutates (threads, RNG, local best, event log, scratch)
+// lives here, never on the run.
 type explorer struct {
 	run *run
 	rng *randx.RNG
 
 	threads []*thread
-	// logRates is scratch space for the per-round timer race.
+	// logRates and weights are scratch space for the per-round timer race.
 	logRates []float64
+	weights  []float64
+
+	// Local best tracker (sharded global best): merged into run.global at
+	// sync points via the events log.
+	bestUtil float64
+	bestSel  []bool
+	bestN    int
+	haveBest bool
+	events   []improvement
 }
 
 // thread is one parallel feasible solution f_n with its proposed swap.
@@ -321,6 +547,11 @@ type thread struct {
 	load int
 	util float64
 
+	// rateBase caches log(|I_j| − n) − τ, the proposal-independent part of
+	// the thread's log timer rate; refreshed whenever the candidate count
+	// changes (join/leave), never in the hot loop.
+	rateBase float64
+
 	// Current proposal (Set-timer, Alg. 3): swap out selIdx ĩ for
 	// unselected ï. proposalOK is false when no feasible swap was found
 	// within the retry budget — the thread's timer never fires this
@@ -331,7 +562,7 @@ type thread struct {
 }
 
 func newExplorer(r *run, rng *randx.RNG) *explorer {
-	ex := &explorer{run: r, rng: rng}
+	ex := &explorer{run: r, rng: rng, bestUtil: math.Inf(-1)}
 	k := len(r.candidates)
 	cards := threadCardinalities(k, r.cfg.MaxThreads)
 	ex.threads = make([]*thread, 0, len(cards))
@@ -339,27 +570,13 @@ func newExplorer(r *run, rng *randx.RNG) *explorer {
 		th := ex.initThread(n)
 		ex.threads = append(ex.threads, th)
 		if th.active {
-			r.offerBest(th.selected, th.n, th.util)
+			ex.offer(th, 0)
 		}
-	}
-	// The full selection f_|I| participates in the final arg-max when Ĉ
-	// permits it (Alg. 1 line 25).
-	full := make([]bool, k)
-	load, util := 0, 0.0
-	for pos := range full {
-		full[pos] = true
-		load += r.in.Sizes[r.candidates[pos]]
-		util += r.in.Value(r.candidates[pos])
-	}
-	if load <= r.in.Capacity {
-		r.offerBest(full, k, util)
 	}
 	ex.logRates = make([]float64, len(ex.threads))
-	for _, th := range ex.threads {
-		if th.active {
-			ex.setTimer(th)
-		}
-	}
+	ex.weights = make([]float64, len(ex.threads))
+	ex.refreshRateBases()
+	ex.rearm()
 	return ex
 }
 
@@ -405,7 +622,7 @@ func (ex *explorer) initThread(n int) *thread {
 		}
 		load := 0
 		for _, pos := range pick {
-			load += r.in.Sizes[r.candidates[pos]]
+			load += r.sizes[pos]
 		}
 		if load > r.in.Capacity {
 			continue
@@ -438,11 +655,26 @@ func (th *thread) adopt(r *run, pick []int) {
 		if th.selected[pos] {
 			th.posInSel[pos] = len(th.selIdx)
 			th.selIdx = append(th.selIdx, pos)
-			th.load += r.in.Sizes[r.candidates[pos]]
-			th.util += r.in.Value(r.candidates[pos])
+			th.load += r.sizes[pos]
+			th.util += r.vals[pos]
 		} else {
 			th.posInUns[pos] = len(th.unselIdx)
 			th.unselIdx = append(th.unselIdx, pos)
+		}
+	}
+}
+
+// refreshRateBases recomputes every thread's cached log(|I_j| − n) − τ
+// term; called after construction and after every join/leave (the only
+// times k changes).
+func (ex *explorer) refreshRateBases() {
+	k := len(ex.run.candidates)
+	tau := ex.run.cfg.Tau
+	for _, th := range ex.threads {
+		if k > th.n {
+			th.rateBase = math.Log(float64(k-th.n)) - tau
+		} else {
+			th.rateBase = math.Inf(-1)
 		}
 	}
 }
@@ -451,81 +683,153 @@ func (th *thread) adopt(r *run, pick []int) {
 // random unselected shard ï, estimate the utility after swapping, and arm
 // the exponential timer with mean exp(τ − ½β(U_f' − U_f)) / (|I_j| − n).
 // Swaps that would violate the capacity constraint are resampled a bounded
-// number of times.
+// number of times. The (ĩ, ï) pair is drawn from a single 64-bit draw
+// (PairIntn) — the proposal distribution is the same independent uniform
+// pair as two Intn calls.
 func (ex *explorer) setTimer(th *thread) {
 	r := ex.run
 	th.proposalOK = false
-	if len(th.selIdx) == 0 || len(th.unselIdx) == 0 {
+	nSel, nUns := len(th.selIdx), len(th.unselIdx)
+	if nSel == 0 || nUns == 0 {
 		return
 	}
+	slack := r.in.Capacity - th.load
 	for attempt := 0; attempt < r.cfg.SwapRetries; attempt++ {
-		outPos := th.selIdx[ex.rng.Intn(len(th.selIdx))]
-		inPos := th.unselIdx[ex.rng.Intn(len(th.unselIdx))]
-		iOut := r.candidates[outPos]
-		iIn := r.candidates[inPos]
-		if th.load-r.in.Sizes[iOut]+r.in.Sizes[iIn] > r.in.Capacity {
+		oi, ii := ex.rng.PairIntn(nSel, nUns)
+		outPos := th.selIdx[oi]
+		inPos := th.unselIdx[ii]
+		if r.sizes[inPos]-r.sizes[outPos] > slack {
 			continue
 		}
 		th.out = outPos
 		th.in = inPos
-		th.dU = r.in.Value(iIn) - r.in.Value(iOut)
+		th.dU = r.vals[inPos] - r.vals[outPos]
 		th.proposalOK = true
 		return
 	}
 }
 
-// logRate returns the log timer rate of the thread's armed proposal:
-// log rate = log(|I_j| − n) − τ + ½β·ΔU (the reciprocal of equation (8)'s
-// mean). Inactive or proposal-less threads never fire (−Inf).
-func (ex *explorer) logRate(th *thread) float64 {
-	if !th.active || !th.proposalOK {
-		return math.Inf(-1)
+// rearm refreshes every active thread's timer — the RESET broadcast of
+// Alg. 1 lines 19–20. Proposal freshness is load-bearing: if losers kept
+// their proposals until they won, the per-thread distribution of executed
+// swaps would collapse to uniform (a proposal's low win rate is exactly
+// compensated by the rounds it survives), erasing the Gibbs bias the
+// rates encode. The hot-path savings are taken on the race side instead,
+// where memorylessness makes them exact.
+func (ex *explorer) rearm() {
+	for _, th := range ex.threads {
+		if th.active {
+			ex.setTimer(th)
+		}
 	}
-	k := len(ex.run.candidates)
-	return math.Log(float64(k-th.n)) - ex.run.cfg.Tau + 0.5*ex.run.betaEff*th.dU
 }
 
-// step performs one transition round: every armed timer races (the
-// Gumbel-max resolution of the exponential race), the winning thread swaps
-// its proposed pair (State Transit), and the RESET broadcast re-arms every
-// timer (Alg. 1 lines 13–20). It reports whether the global best improved.
-func (ex *explorer) step() bool {
+// stepRound performs one transition round: every armed timer races, the
+// winning thread swaps its proposed pair (State Transit), and the RESET
+// broadcast re-arms every timer (Alg. 1 lines 13–20). Improvements over
+// the explorer's local best are recorded in the event log under the given
+// round number for the coordinator's deterministic merge.
+//
+// The race resolves the minimum of exponential clocks by categorical
+// sampling: P(win) ∝ rate = exp(rateBase + ½β·ΔU). Weights are
+// exponentiated after subtracting the max log rate (no overflow) and the
+// winner is drawn by CDF inversion from a single uniform — statistically
+// identical to the former Gumbel-max race (T uniforms and 2T logs per
+// round) since both sample the exact same categorical distribution. The
+// race's elapsed time is never consumed (rounds are the clock), so it is
+// not sampled.
+func (ex *explorer) stepRound(round int) {
+	h := ex.run.halfBeta
+	maxLR := math.Inf(-1)
 	for i, th := range ex.threads {
-		ex.logRates[i] = ex.logRate(th)
+		lr := math.Inf(-1)
+		if th.active && th.proposalOK {
+			lr = th.rateBase + h*th.dU
+		}
+		ex.logRates[i] = lr
+		if lr > maxLR {
+			maxLR = lr
+		}
 	}
-	winner, _, err := ex.rng.MinExponentialLog(ex.logRates)
-	if err != nil {
+	if math.IsInf(maxLR, -1) {
 		// No timer can fire: all threads inactive or proposal-less.
 		// Re-arm and hope a future round finds feasible swaps.
-		for _, th := range ex.threads {
-			if th.active {
-				ex.setTimer(th)
-			}
+		ex.rearm()
+		return
+	}
+	for i, lr := range ex.logRates {
+		if math.IsInf(lr, -1) {
+			ex.weights[i] = 0
+		} else {
+			ex.weights[i] = math.Exp(lr - maxLR)
 		}
-		return false
+	}
+	winner, err := ex.rng.WeightedPick(ex.weights)
+	if err != nil {
+		ex.rearm()
+		return
 	}
 	th := ex.threads[winner]
 	th.applySwap(ex.run)
-	improved := ex.run.offerBest(th.selected, th.n, th.util)
-	// RESET: every solution thread refreshes its timer with the updated
-	// utilities.
-	for _, t := range ex.threads {
-		if t.active {
-			ex.setTimer(t)
+	ex.offer(th, round)
+	ex.rearm()
+}
+
+// stepBatch advances the explorer through rounds (a, b].
+func (ex *explorer) stepBatch(a, b int) {
+	for round := a + 1; round <= b; round++ {
+		ex.stepRound(round)
+	}
+}
+
+// step advances one round without event logging — kept for tests that
+// drive a single explorer directly.
+func (ex *explorer) step() { ex.stepRound(0) }
+
+// offer records a thread's state against the explorer's local best
+// (Alg. 1 lines 22–27, sharded per explorer). Improvements during a
+// segment (round > 0) are appended to the event log with an immutable
+// selection snapshot so the coordinator can merge and, if the convergence
+// window closed mid-segment, truncate them exactly.
+func (ex *explorer) offer(th *thread, round int) bool {
+	if th.n < ex.run.in.Nmin {
+		return false
+	}
+	if ex.haveBest && th.util <= ex.bestUtil {
+		return false
+	}
+	snap := append([]bool(nil), th.selected...)
+	ex.bestSel = snap
+	ex.bestUtil = th.util
+	ex.bestN = th.n
+	ex.haveBest = true
+	if round > 0 {
+		ex.events = append(ex.events, improvement{round: round, util: th.util, n: th.n, sel: snap})
+	}
+	return true
+}
+
+// resetLocalBest drops the explorer's local best (its stored positions
+// went stale after a leave) and re-seeds it from the surviving threads.
+func (ex *explorer) resetLocalBest() {
+	ex.haveBest = false
+	ex.bestUtil = math.Inf(-1)
+	ex.bestSel = nil
+	ex.events = ex.events[:0]
+	for _, th := range ex.threads {
+		if th.active {
+			ex.offer(th, 0)
 		}
 	}
-	return improved
 }
 
 // applySwap executes the armed proposal: x_ĩ ← 0, x_ï ← 1.
 func (th *thread) applySwap(r *run) {
 	outPos, inPos := th.out, th.in
-	iOut := r.candidates[outPos]
-	iIn := r.candidates[inPos]
 
 	th.selected[outPos] = false
 	th.selected[inPos] = true
-	th.load += r.in.Sizes[iIn] - r.in.Sizes[iOut]
+	th.load += r.sizes[inPos] - r.sizes[outPos]
 	th.util += th.dU
 
 	// Maintain the index lists in O(1) by swapping with the tail.

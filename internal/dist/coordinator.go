@@ -39,6 +39,12 @@ type CoordinatorConfig struct {
 	Beta float64
 	Tau  float64
 	Seed int64
+	// Gamma is the explorer count each worker machine runs in-process
+	// (core.SEConfig.Gamma); zero keeps the core default of 1.
+	Gamma int
+	// SEWorkers bounds the goroutines each worker's kernel spreads its
+	// explorers over (core.SEConfig.Workers); zero means GOMAXPROCS.
+	SEWorkers int
 	// Events are pushed to all workers at the given wall-clock offsets
 	// after the run starts.
 	Events []TimedEvent
@@ -136,6 +142,8 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 			Beta:          co.cfg.Beta,
 			Tau:           co.cfg.Tau,
 			Seed:          co.cfg.Seed + int64(g)*7919,
+			Gamma:         co.cfg.Gamma,
+			SEWorkers:     co.cfg.SEWorkers,
 			ReportEvery:   co.cfg.ReportEvery,
 			MaxIterations: co.cfg.MaxIterations,
 		}

@@ -67,11 +67,17 @@ type Task struct {
 	Capacity  int       `json:"capacity"`
 	Nmin      int       `json:"nmin"`
 
-	Beta          float64 `json:"beta"`
-	Tau           float64 `json:"tau"`
-	Seed          int64   `json:"seed"`
-	ReportEvery   int     `json:"reportEvery"`
-	MaxIterations int     `json:"maxIterations"`
+	Beta float64 `json:"beta"`
+	Tau  float64 `json:"tau"`
+	Seed int64   `json:"seed"`
+	// Gamma is the number of in-process explorers the worker runs; zero
+	// keeps the core default of 1.
+	Gamma int `json:"gamma,omitempty"`
+	// SEWorkers caps the goroutines the worker's kernel uses to advance
+	// its explorers (core.SEConfig.Workers); zero means GOMAXPROCS.
+	SEWorkers     int `json:"seWorkers,omitempty"`
+	ReportEvery   int `json:"reportEvery"`
+	MaxIterations int `json:"maxIterations"`
 }
 
 // Instance reconstructs the core.Instance of a task.

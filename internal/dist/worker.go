@@ -58,9 +58,11 @@ func (w Worker) Run(addr string) (Result, error) {
 	}
 
 	engine, err := core.NewEngine(task.Instance(), core.SEConfig{
-		Beta: task.Beta,
-		Tau:  task.Tau,
-		Seed: task.Seed,
+		Beta:    task.Beta,
+		Tau:     task.Tau,
+		Seed:    task.Seed,
+		Gamma:   task.Gamma,
+		Workers: task.SEWorkers,
 	})
 	if err != nil {
 		res := Result{WorkerID: w.ID, Err: err.Error()}
@@ -94,14 +96,33 @@ func (w Worker) Run(addr string) (Result, error) {
 		maxIters = 20000
 	}
 
+	// Rounds advance through StepN batches so the concurrent kernel is not
+	// re-launched per round; batches never cross a report boundary, a
+	// throttle boundary, or the iteration cap, and control messages are
+	// drained between batches (events land at batch edges, which are the
+	// kernel's synchronization points anyway).
+	const batchRounds = 64
 	stopping := false
 	var applyErr error
-	for iter := 0; iter < maxIters && !stopping; iter++ {
-		engine.Step()
-		if w.Throttle > 0 && (iter+1)%100 == 0 {
+	for iter := 0; iter < maxIters && !stopping; {
+		next := iter + batchRounds
+		if rb := (iter/reportEvery + 1) * reportEvery; rb < next {
+			next = rb
+		}
+		if w.Throttle > 0 {
+			if tb := (iter/100 + 1) * 100; tb < next {
+				next = tb
+			}
+		}
+		if next > maxIters {
+			next = maxIters
+		}
+		engine.StepN(next - iter)
+		iter = next
+		if w.Throttle > 0 && iter%100 == 0 {
 			time.Sleep(w.Throttle)
 		}
-		if (iter+1)%reportEvery == 0 {
+		if iter%reportEvery == 0 {
 			_, bErr := engine.Best()
 			if err := c.send(MsgProgress, Progress{
 				WorkerID:   w.ID,

@@ -35,6 +35,11 @@ type Options struct {
 	// Scale in (0, 1] shrinks instance sizes and iteration budgets; 1
 	// reproduces the paper's parameters. Default 1.
 	Scale float64
+	// Workers bounds the goroutines the SE kernel spreads its Γ explorers
+	// over (core.SEConfig.Workers); 0 means GOMAXPROCS, 1 forces the
+	// serial kernel. Results are identical either way — this knob only
+	// trades wall-clock time.
+	Workers int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -230,9 +235,9 @@ func paperInstance(rng *randx.RNG, nShards, capacity int, alpha float64, nminFra
 
 // solverSet builds the paper's four algorithms with budgets scaled for the
 // instance size.
-func solverSet(seed int64, gamma, maxIters int) []core.Solver {
+func solverSet(seed int64, gamma, maxIters, workers int) []core.Solver {
 	return []core.Solver{
-		core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, MaxIters: maxIters, ConvergenceWindow: maxIters / 10}),
+		core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: maxIters, ConvergenceWindow: maxIters / 10}),
 		baselineSA(seed, maxIters),
 		baselineDP(),
 		baselineWOA(seed, maxIters),

@@ -142,7 +142,7 @@ func Fig8(opts Options) (FigureResult, error) {
 	}
 	for _, gamma := range []int{1, 5, 10, 15, 20, 25} {
 		se := core.NewSE(core.SEConfig{
-			Seed: opts.Seed, Gamma: gamma,
+			Seed: opts.Seed, Gamma: gamma, Workers: opts.Workers,
 			MaxIters: maxIters, ConvergenceWindow: maxIters,
 		})
 		_, trace, err := se.Solve(in.Clone())
@@ -196,7 +196,7 @@ func Fig9a(opts Options) (FigureResult, error) {
 		{AtIteration: 2 * maxIters / 3, Kind: core.EventJoin, Index: target,
 			Size: in.Sizes[target], Latency: in.Latencies[target]},
 	}
-	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, MaxIters: maxIters})
+	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters})
 	_, trace, err := se.SolveOnline(in.Clone(), events)
 	if err != nil {
 		return FigureResult{}, err
@@ -260,7 +260,7 @@ func Fig9b(opts Options) (FigureResult, error) {
 			Latency:     lat,
 		})
 	}
-	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, MaxIters: maxIters})
+	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters})
 	_, trace, err := se.SolveOnline(in, events)
 	if err != nil {
 		return FigureResult{}, err
@@ -306,7 +306,7 @@ func Fig10(opts Options) (FigureResult, error) {
 			fmt.Sprintf("|I|=%d capacity=%d alpha=1.5 gamma=25", nShards, capacity),
 		},
 	}
-	for idx, s := range solverSet(opts.Seed, 25, maxIters) {
+	for idx, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers) {
 		sol, _, err := s.Solve(in.Clone())
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("%s: %w", s.Name(), err)
@@ -326,7 +326,7 @@ func convergenceComparison(opts Options, in core.Instance, gamma, maxIters int) 
 	grid := metrics.Grid(maxIters, 50)
 	var series []Series
 	finals := make(map[string]float64)
-	for _, s := range solverSet(opts.Seed, gamma, maxIters) {
+	for _, s := range solverSet(opts.Seed, gamma, maxIters, opts.Workers) {
 		sol, trace, err := s.Solve(in.Clone())
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", s.Name(), err)
@@ -438,7 +438,7 @@ func Fig13(opts Options) (FigureResult, error) {
 		in := paperInstance(rng, nShards, capacity, alpha, 0)
 		perAlgo := make(map[string][]float64)
 		for rep := 0; rep < repeats; rep++ {
-			for _, s := range solverSet(opts.Seed+int64(rep*131), 25, maxIters) {
+			for _, s := range solverSet(opts.Seed+int64(rep*131), 25, maxIters, opts.Workers) {
 				sol, _, err := s.Solve(in.Clone())
 				if err != nil {
 					return FigureResult{}, fmt.Errorf("alpha=%g rep=%d %s: %w", alpha, rep, s.Name(), err)
@@ -516,7 +516,7 @@ func Fig14(opts Options) (FigureResult, error) {
 				Latency:     lat,
 			})
 		}
-		se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 25, MaxIters: maxIters})
+		se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 25, Workers: opts.Workers, MaxIters: maxIters})
 		seSol, _, err := se.SolveOnline(in.Clone(), events)
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("alpha=%g SE online: %w", alpha, err)
@@ -524,7 +524,7 @@ func Fig14(opts Options) (FigureResult, error) {
 		utilities["SE"] = append(utilities["SE"], seSol.Utility)
 		// Offline baselines on the final candidate set.
 		finalIn := full.Clone()
-		for _, s := range solverSet(opts.Seed, 25, maxIters)[1:] {
+		for _, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers)[1:] {
 			sol, _, err := s.Solve(finalIn.Clone())
 			if err != nil {
 				return FigureResult{}, fmt.Errorf("alpha=%g %s: %w", alpha, s.Name(), err)

@@ -21,8 +21,16 @@ import (
 var ErrEmpty = errors.New("randx: empty input")
 
 // RNG is a deterministic random number generator. It wraps math/rand.Rand
-// with the distribution samplers the simulator needs. RNG is not safe for
-// concurrent use; derive per-goroutine generators with Split.
+// with the distribution samplers the simulator needs.
+//
+// RNG is NOT safe for concurrent use: every sampler mutates the underlying
+// source, and concurrent callers both race and destroy reproducibility.
+// Code that fans work out across goroutines must give each goroutine its
+// own generator derived with Split (or SplitN) *before* the goroutines
+// start. Split streams are decorrelated through SplitMix64 and remain
+// deterministic per seed, which is how the parallel SE kernel keeps
+// same-seed runs bit-identical regardless of how many OS threads advance
+// its explorers.
 type RNG struct {
 	src *rand.Rand
 }
@@ -64,6 +72,24 @@ func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
 
 // Int63 returns a non-negative uniform 63-bit integer.
 func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// PairIntn returns two independent uniform samples in [0, a) and [0, b)
+// derived from a single 64-bit draw: the high 32 bits are reduced onto
+// [0, a) and the low 32 bits onto [0, b) with the Lemire multiply-shift.
+// It exists for hot loops (the SE swap-proposal draw) where halving the
+// source draws is measurable. The reduction skips Lemire's rejection step,
+// so each outcome's probability deviates from uniform by at most 2⁻³² —
+// far below statistical detectability for the bounds used here. Panics if
+// either bound is outside [1, 2³¹], matching Intn's contract.
+func (r *RNG) PairIntn(a, b int) (int, int) {
+	if a <= 0 || b <= 0 || a > 1<<31 || b > 1<<31 {
+		panic("randx: PairIntn bounds out of range")
+	}
+	u := r.src.Uint64()
+	hi := int((uint64(uint32(u>>32)) * uint64(a)) >> 32)
+	lo := int((uint64(uint32(u)) * uint64(b)) >> 32)
+	return hi, lo
+}
 
 // Uint64 returns a uniform 64-bit value.
 func (r *RNG) Uint64() uint64 { return r.src.Uint64() }

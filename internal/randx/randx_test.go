@@ -453,3 +453,104 @@ func TestZipfSkew(t *testing.T) {
 		t.Fatal("invalid params accepted")
 	}
 }
+
+func TestPairIntnRangeAndUniformity(t *testing.T) {
+	r := New(31)
+	const a, b, n = 7, 13, 91000
+	countA := make([]int, a)
+	countB := make([]int, b)
+	for i := 0; i < n; i++ {
+		x, y := r.PairIntn(a, b)
+		if x < 0 || x >= a || y < 0 || y >= b {
+			t.Fatalf("out of range: (%d, %d)", x, y)
+		}
+		countA[x]++
+		countB[y]++
+	}
+	for v, c := range countA {
+		if want := float64(n) / a; math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("first coordinate %d count %d, want ~%.0f", v, c, want)
+		}
+	}
+	for v, c := range countB {
+		if want := float64(n) / b; math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("second coordinate %d count %d, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestPairIntnCoordinatesIndependent(t *testing.T) {
+	// The two halves of one 64-bit draw must not be correlated: the joint
+	// distribution over a 4x4 grid should be flat.
+	r := New(32)
+	const n = 64000
+	var joint [4][4]int
+	for i := 0; i < n; i++ {
+		x, y := r.PairIntn(4, 4)
+		joint[x][y]++
+	}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			if want := float64(n) / 16; math.Abs(float64(joint[x][y])-want) > 0.07*want {
+				t.Fatalf("joint[%d][%d] = %d, want ~%.0f", x, y, joint[x][y], want)
+			}
+		}
+	}
+}
+
+func TestPairIntnPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][2]int{{0, 5}, {5, 0}, {-1, 5}, {5, -1}, {1 << 32, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for bounds %v", bounds)
+				}
+			}()
+			New(1).PairIntn(bounds[0], bounds[1])
+		}()
+	}
+}
+
+func TestSplitStreamsDoNotOverlap(t *testing.T) {
+	// Concurrent users must Split() rather than share an RNG; this pins the
+	// property that makes the split sound: sibling streams (and the parent)
+	// produce disjoint draw sequences, so per-explorer chains never reuse
+	// randomness. With 64-bit outputs, any overlap in the first N draws
+	// would be a SplitMix64 correlation bug, not a coincidence.
+	root := New(7)
+	streams := root.SplitN(4)
+	streams = append(streams, root)
+	const n = 4096
+	seen := make(map[uint64]int, len(streams)*n)
+	for si, s := range streams {
+		for i := 0; i < n; i++ {
+			v := s.Uint64()
+			if prev, dup := seen[v]; dup && prev != si {
+				t.Fatalf("streams %d and %d share value %#x in first %d draws", prev, si, v, n)
+			}
+			seen[v] = si
+		}
+	}
+}
+
+func TestSplitStreamsStatisticallyIndependent(t *testing.T) {
+	// Pearson correlation between sibling streams' uniforms must vanish.
+	root := New(8)
+	a, b := root.Split(), root.Split()
+	const n = 20000
+	var sa, sb, sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa += x
+		sb += y
+		sab += x * y
+		saa += x * x
+		sbb += y * y
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	varA := saa/n - (sa/n)*(sa/n)
+	varB := sbb/n - (sb/n)*(sb/n)
+	if corr := cov / math.Sqrt(varA*varB); math.Abs(corr) > 0.03 {
+		t.Fatalf("split streams correlated: r = %.4f", corr)
+	}
+}
