@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"mvcom"
 	"mvcom/internal/baseline"
 	"mvcom/internal/core"
 	"mvcom/internal/experiments"
 	"mvcom/internal/metrics"
+	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 )
 
@@ -245,6 +247,53 @@ func BenchmarkSESolve(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSESolveObs measures the instrumentation overhead gate from
+// DESIGN.md §5c: the solver with no observer attached (the nil-is-off
+// contract) versus the same run feeding a live registry. ci.sh fails if
+// attached/detached exceeds 1.03, so the kernel's flush-at-merge
+// batching has to keep observer cost out of the per-round hot path.
+//
+// The two variants are interleaved within each iteration (alternating
+// which goes first) and the ratio reported directly: back-to-back A/B
+// runs would fold slow machine-load drift into the comparison, which on
+// a shared runner dwarfs the few atomic adds per segment being gated.
+func BenchmarkSESolveObs(b *testing.B) {
+	in := benchInstance(b, 200)
+	seObs := obs.NewSEObserver(obs.NewRegistry())
+	solve := func(o *obs.SEObserver) float64 {
+		sol, _, err := core.NewSE(core.SEConfig{
+			Seed: 1, Gamma: 8, Obs: o,
+			MaxIters: 2000, ConvergenceWindow: 2000,
+		}).Solve(in.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sol.Utility
+	}
+	var detached, attached time.Duration
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			start := time.Now()
+			uD := solve(nil)
+			mid := time.Now()
+			uA := solve(seObs)
+			attached += time.Since(mid)
+			detached += mid.Sub(start)
+			if uD != uA {
+				b.Fatalf("observer changed the solution: %v vs %v", uD, uA)
+			}
+		} else {
+			start := time.Now()
+			solve(seObs)
+			mid := time.Now()
+			solve(nil)
+			detached += time.Since(mid)
+			attached += mid.Sub(start)
+		}
+	}
+	b.ReportMetric(float64(attached)/float64(detached), "attached/detached")
 }
 
 // BenchmarkSESolveSize measures the solver end-to-end at three instance

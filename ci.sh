@@ -1,11 +1,36 @@
 #!/bin/sh
-# CI gate: build, vet, and run the full test suite under the race
-# detector. The SE kernel is concurrent by default (SEConfig.Workers
-# 0 = GOMAXPROCS), so -race exercises the real production path.
+# CI gate: format check, build, vet, the full test suite under the race
+# detector, and the observability overhead guard. The SE kernel is
+# concurrent by default (SEConfig.Workers 0 = GOMAXPROCS), so -race
+# exercises the real production path.
 set -eux
 
 cd "$(dirname "$0")"
 
+# Formatting gate: any file gofmt would rewrite fails the build.
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Instrumentation overhead guard (DESIGN.md §5c): the SE solver with a
+# live observer attached must stay within 3% of the detached (nil
+# observer) run. The benchmark interleaves the variants per iteration
+# and reports the paired ratio; take the best of three repetitions so
+# one noisy window cannot fail the gate (a real regression shows in
+# every repetition).
+bench_out="$(go test -run '^$' -bench '^BenchmarkSESolveObs$' -benchtime 100x -count 3 .)"
+echo "$bench_out"
+echo "$bench_out" | awk '
+	/^BenchmarkSESolveObs/ { if (!r || $5 < r) r = $5 }
+	END {
+		if (!r) { print "bench guard: missing samples" > "/dev/stderr"; exit 1 }
+		printf "obs overhead: attached/detached = %.4f (gate 1.03)\n", r
+		if (r > 1.03) { print "bench guard: instrumentation overhead above 3%" > "/dev/stderr"; exit 1 }
+	}'

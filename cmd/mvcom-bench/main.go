@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mvcom/internal/experiments"
+	"mvcom/internal/obs"
 	"mvcom/internal/plot"
 )
 
@@ -30,17 +31,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mvcom-bench", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", "figure id (2a 2b 8 9a 9b 10 11 12 13 14 ext1) or 'all'")
-		scale  = fs.Float64("scale", 1.0, "size scale in (0,1]; 1 = paper parameters")
-		seed   = fs.Int64("seed", 1, "random seed")
-		out    = fs.String("out", "", "output directory (default: stdout)")
-		ascii   = fs.Bool("ascii", false, "also render an ASCII chart to stderr")
-		report  = fs.Bool("report", false, "emit a markdown report instead of TSV")
-		sebench = fs.Bool("sebench", false, "benchmark the SE kernel (serial vs parallel per Γ) and write BENCH_SE.json")
-		workers = fs.Int("workers", 0, "SE kernel worker goroutines for figure runs (0 = GOMAXPROCS)")
+		fig      = fs.String("fig", "all", "figure id (2a 2b 8 9a 9b 10 11 12 13 14 ext1) or 'all'")
+		scale    = fs.Float64("scale", 1.0, "size scale in (0,1]; 1 = paper parameters")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "", "output directory (default: stdout)")
+		ascii    = fs.Bool("ascii", false, "also render an ASCII chart to stderr")
+		report   = fs.Bool("report", false, "emit a markdown report instead of TSV")
+		sebench  = fs.Bool("sebench", false, "benchmark the SE kernel (serial vs parallel per Γ) and write BENCH_SE.json")
+		workers  = fs.Int("workers", 0, "SE kernel worker goroutines for figure runs (0 = GOMAXPROCS)")
+		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *obs.Registry
+	if *metrAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mvcom-bench: metrics on http://%s/metrics\n", srv.Addr())
 	}
 	if *sebench {
 		dir := *out
@@ -49,7 +61,7 @@ func run(args []string) error {
 		}
 		return runSEBench(dir, *seed)
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers, Obs: reg}
 
 	ids := []string{*fig}
 	if *fig == "all" {

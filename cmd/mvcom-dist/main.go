@@ -20,6 +20,7 @@ import (
 
 	"mvcom/internal/dist"
 	"mvcom/internal/experiments"
+	"mvcom/internal/obs"
 )
 
 func main() {
@@ -44,14 +45,31 @@ func run(args []string) error {
 		alpha    = fs.Float64("alpha", 1.5, "throughput weight α")
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 20*time.Second, "run timeout")
+		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metrAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mvcom-dist: metrics on http://%s/metrics\n", srv.Addr())
+	}
+
 	switch *mode {
 	case "worker":
-		res, err := dist.Worker{ID: *id}.Run(*connect)
+		w := dist.Worker{
+			ID:    *id,
+			Obs:   obs.NewDistObserver(reg, "worker"),
+			SEObs: obs.NewSEObserver(reg),
+		}
+		res, err := w.Run(*connect)
 		if err != nil {
 			return err
 		}
@@ -74,6 +92,7 @@ func run(args []string) error {
 			Seed:       *seed,
 			Gamma:      *gamma,
 			SEWorkers:  *sework,
+			Obs:        obs.NewDistObserver(reg, "coordinator"),
 		})
 		if err != nil {
 			return err
@@ -83,12 +102,14 @@ func run(args []string) error {
 
 		var wg sync.WaitGroup
 		if *mode == "demo" {
+			wObs := obs.NewDistObserver(reg, "worker")
+			seObs := obs.NewSEObserver(reg)
 			for g := 0; g < *workers; g++ {
 				g := g
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					w := dist.Worker{ID: fmt.Sprintf("demo-%d", g)}
+					w := dist.Worker{ID: fmt.Sprintf("demo-%d", g), Obs: wObs, SEObs: seObs}
 					if _, err := w.Run(co.Addr()); err != nil {
 						fmt.Fprintf(os.Stderr, "worker %d: %v\n", g, err)
 					}

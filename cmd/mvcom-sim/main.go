@@ -22,6 +22,7 @@ import (
 	"mvcom/internal/core"
 	"mvcom/internal/epoch"
 	"mvcom/internal/metrics"
+	"mvcom/internal/obs"
 	"mvcom/internal/txgen"
 )
 
@@ -52,9 +53,21 @@ func run(args []string) error {
 		gamma       = fs.Int("gamma", 10, "SE parallel exploration threads")
 		workers     = fs.Int("workers", 0, "SE kernel worker goroutines (0 = GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "random seed")
+		metrAddr    = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metrAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mvcom-sim: metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	p, err := epoch.NewPipeline(epoch.Config{
@@ -72,6 +85,7 @@ func run(args []string) error {
 			MeanTxs: 1200,
 		},
 		Seed: *seed,
+		Obs:  obs.NewEpochObserver(reg),
 	})
 	if err != nil {
 		return err
@@ -81,7 +95,7 @@ func run(args []string) error {
 		return fmt.Errorf("capacity fraction %v too small", *capFrac)
 	}
 	nmin := int(*nminFrac * float64(*committees))
-	sched, err := pickScheduler(*scheduler, *seed, *gamma, *workers)
+	sched, err := pickScheduler(*scheduler, *seed, *gamma, *workers, reg)
 	if err != nil {
 		return err
 	}
@@ -121,11 +135,12 @@ func run(args []string) error {
 	return nil
 }
 
-func pickScheduler(name string, seed int64, gamma, workers int) (epoch.Scheduler, error) {
+func pickScheduler(name string, seed int64, gamma, workers int, reg *obs.Registry) (epoch.Scheduler, error) {
 	switch strings.ToLower(name) {
 	case "se":
 		return epoch.SolverScheduler{Solver: core.NewSE(core.SEConfig{
 			Seed: seed, Gamma: gamma, Workers: workers, MaxIters: 8000,
+			Obs: obs.NewSEObserver(reg),
 		})}, nil
 	case "sa":
 		return epoch.SolverScheduler{Solver: baseline.SA{Seed: seed, Iterations: 8000}}, nil

@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	mvcom-trace -blocks 1378 -out trace.csv    # generate
-//	mvcom-trace -in trace.csv -shards 50       # inspect / shard statistics
+//	mvcom-trace -blocks 1378 -out trace.csv      # generate
+//	mvcom-trace -in trace.csv -shards 50         # inspect / shard statistics
+//	mvcom-trace -in trace.csv -shards 50 -json   # same, machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/stats"
 	"mvcom/internal/txgen"
@@ -28,15 +31,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mvcom-trace", flag.ContinueOnError)
 	var (
-		blocks  = fs.Int("blocks", txgen.DefaultBlocks, "number of blocks to generate")
-		meanTxs = fs.Float64("mean-txs", txgen.DefaultMeanTxs, "mean TXs per block")
-		seed    = fs.Int64("seed", 1, "random seed")
-		out     = fs.String("out", "", "write generated trace CSV to this file (default stdout)")
-		in      = fs.String("in", "", "read an existing trace CSV instead of generating")
-		shards  = fs.Int("shards", 0, "if > 0, also print per-shard statistics for this many shards")
+		blocks   = fs.Int("blocks", txgen.DefaultBlocks, "number of blocks to generate")
+		meanTxs  = fs.Float64("mean-txs", txgen.DefaultMeanTxs, "mean TXs per block")
+		seed     = fs.Int64("seed", 1, "random seed")
+		out      = fs.String("out", "", "write generated trace CSV to this file (default stdout)")
+		in       = fs.String("in", "", "read an existing trace CSV instead of generating")
+		shards   = fs.Int("shards", 0, "if > 0, also print per-shard statistics for this many shards")
+		asJSON   = fs.Bool("json", false, "emit trace/shard statistics as JSON instead of text")
+		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metrAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mvcom-trace: metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	var (
@@ -53,10 +69,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return describe(tr, *shards, *seed)
+		recordTraceMetrics(reg, tr)
+		return describe(tr, *shards, *seed, *asJSON)
 	}
 
 	tr = txgen.Generate(randx.New(*seed), txgen.Config{Blocks: *blocks, MeanTxs: *meanTxs})
+	recordTraceMetrics(reg, tr)
 	if *out == "" {
 		if err = tr.WriteCSV(os.Stdout); err != nil {
 			return err
@@ -76,12 +94,34 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d blocks (%d TXs) to %s\n", len(tr.Blocks), tr.TotalTxs(), *out)
 	if *shards > 0 {
-		return describe(tr, *shards, *seed)
+		return describe(tr, *shards, *seed, *asJSON)
 	}
 	return nil
 }
 
-func describe(tr *txgen.Trace, shards int, seed int64) error {
+// recordTraceMetrics publishes basic trace gauges when a registry is live.
+func recordTraceMetrics(reg *obs.Registry, tr *txgen.Trace) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("mvcom_trace_blocks", "blocks in the loaded/generated trace").Set(float64(len(tr.Blocks)))
+	reg.Gauge("mvcom_trace_total_txs", "transactions in the loaded/generated trace").Set(float64(tr.TotalTxs()))
+}
+
+// summaryJSON is the machine-readable form of one stats.Summary.
+type summaryJSON struct {
+	Count  int     `json:"count"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func toSummaryJSON(s stats.Summary) summaryJSON {
+	return summaryJSON{Count: s.Count, Mean: s.Mean, Stddev: s.Stddev, Min: s.Min, Max: s.Max}
+}
+
+func describe(tr *txgen.Trace, shards int, seed int64, asJSON bool) error {
 	txs := make([]float64, len(tr.Blocks))
 	for i, b := range tr.Blocks {
 		txs[i] = float64(b.Txs)
@@ -90,19 +130,45 @@ func describe(tr *txgen.Trace, shards int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("blocks       %d\n", s.Count)
-	fmt.Printf("total TXs    %d\n", tr.TotalTxs())
-	fmt.Printf("TXs/block    mean=%.1f stddev=%.1f min=%.0f max=%.0f\n", s.Mean, s.Stddev, s.Min, s.Max)
+	var shardSizes []float64
 	if shards > 0 {
 		parts, err := tr.IntoShards(randx.New(seed), shards)
 		if err != nil {
 			return err
 		}
-		sizes := make([]float64, len(parts))
+		shardSizes = make([]float64, len(parts))
 		for i, p := range parts {
-			sizes[i] = float64(p.TxTotal)
+			shardSizes[i] = float64(p.TxTotal)
 		}
-		ss, err := stats.Summarize(sizes)
+	}
+	if asJSON {
+		out := struct {
+			Blocks      int          `json:"blocks"`
+			TotalTxs    int          `json:"totalTxs"`
+			TxsPerBlock summaryJSON  `json:"txsPerBlock"`
+			Shards      int          `json:"shards,omitempty"`
+			TxsPerShard *summaryJSON `json:"txsPerShard,omitempty"`
+			ShardSizes  []float64    `json:"shardSizes,omitempty"`
+		}{Blocks: s.Count, TotalTxs: tr.TotalTxs(), TxsPerBlock: toSummaryJSON(s)}
+		if shards > 0 {
+			ss, err := stats.Summarize(shardSizes)
+			if err != nil {
+				return err
+			}
+			sj := toSummaryJSON(ss)
+			out.Shards = shards
+			out.TxsPerShard = &sj
+			out.ShardSizes = shardSizes
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("blocks       %d\n", s.Count)
+	fmt.Printf("total TXs    %d\n", tr.TotalTxs())
+	fmt.Printf("TXs/block    mean=%.1f stddev=%.1f min=%.0f max=%.0f\n", s.Mean, s.Stddev, s.Min, s.Max)
+	if shards > 0 {
+		ss, err := stats.Summarize(shardSizes)
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 	"mvcom/internal/core"
 	"mvcom/internal/experiments"
 	"mvcom/internal/metrics"
+	"mvcom/internal/obs"
 )
 
 func main() {
@@ -40,16 +41,28 @@ func run(args []string) error {
 		iters    = fs.Int("iters", 8000, "iteration budget")
 		seed     = fs.Int64("seed", 1, "random seed")
 		verbose  = fs.Bool("v", false, "print the full selection")
+		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *obs.Registry
+	if *metrAddr != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "mvcom: metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	in, err := experiments.PaperInstance(*seed, *shards, *capacity, *alpha, *nminFrac)
 	if err != nil {
 		return err
 	}
-	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters)
+	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters, reg)
 	if err != nil {
 		return err
 	}
@@ -84,10 +97,10 @@ func run(args []string) error {
 	return nil
 }
 
-func pickSolver(name string, seed int64, gamma, workers, iters int) (core.Solver, error) {
+func pickSolver(name string, seed int64, gamma, workers, iters int, reg *obs.Registry) (core.Solver, error) {
 	switch strings.ToLower(name) {
 	case "se":
-		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters}), nil
+		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters, Obs: obs.NewSEObserver(reg)}), nil
 	case "sa":
 		return baseline.SA{Seed: seed, Iterations: iters}, nil
 	case "dp":

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"mvcom/internal/obs"
 )
 
 // EventKind distinguishes dynamic committee events (Alg. 1 lines 8–12).
@@ -161,6 +163,10 @@ func (r *run) applyJoin(ev Event) error {
 	r.candidates = append(r.candidates, idx)
 	r.refreshCandidateCaches()
 	r.refreshBetaEff()
+	if r.obs != nil {
+		r.obs.Joins.Inc()
+		r.obs.Trace.Emit(obs.EvShardJoin, "se", float64(idx), "")
+	}
 	for _, ex := range r.explorers {
 		ex.extendForJoin()
 		r.adoptLocal(ex)
@@ -193,6 +199,10 @@ func (r *run) applyLeave(ev Event) error {
 	movedFrom := last // candidate position that moved into pos
 	r.refreshCandidateCaches()
 	r.refreshBetaEff()
+	if r.obs != nil {
+		r.obs.Leaves.Inc()
+		r.obs.Trace.Emit(obs.EvShardLeave, "se", float64(ev.Index), "")
+	}
 	for _, ex := range r.explorers {
 		ex.shrinkForLeave(pos, movedFrom)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 )
 
@@ -80,6 +81,12 @@ type SEConfig struct {
 	// Seed drives all randomness. Explorers split independent streams
 	// from it.
 	Seed int64
+	// Obs, when non-nil, receives runtime telemetry: round/swap/RESET
+	// counters, the best-utility gauge, and structured trace events.
+	// Explorers tally plain ints in the hot loop and flush them only at
+	// segment merges, so the overhead with Obs attached stays within the
+	// ci.sh benchmark gate (≤ 3%); nil disables every hook.
+	Obs *obs.SEObserver
 }
 
 func (c SEConfig) withDefaults() SEConfig {
@@ -194,6 +201,7 @@ type run struct {
 	explorers  []*explorer
 	rootRNG    *randx.RNG
 	workers    int
+	obs        *obs.SEObserver
 
 	// vals and sizes cache Value(i) and Sizes[i] per candidate position so
 	// the hot loop never chases the instance indirection; rebuilt on every
@@ -237,6 +245,7 @@ func newRun(in *Instance, cfg SEConfig) (*run, error) {
 		candidates: cands,
 		rootRNG:    randx.New(cfg.Seed),
 		workers:    resolveWorkers(cfg.Workers, cfg.Gamma),
+		obs:        cfg.Obs,
 	}
 	r.global.util = math.Inf(-1)
 	r.refreshCandidateCaches()
@@ -401,6 +410,7 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 		cur[g] = 0
 	}
 	stopRound, stopped, anyImproved := b, false, false
+	adopted := int64(0)
 	for round := a + 1; round <= b && !stopped; round++ {
 		improved := false
 		for g, ex := range r.explorers {
@@ -411,6 +421,10 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 					r.global.util, r.global.sel, r.global.n, r.global.have = e.util, e.sel, e.n, true
 					r.globalDirty = true
 					improved = true
+					adopted++
+					if r.obs != nil {
+						r.obs.Trace.Emit(obs.EvSwapAccept, "se", e.util, "")
+					}
 				}
 			}
 		}
@@ -431,7 +445,37 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 		ex.events = ex.events[:0]
 	}
 	r.publishBest()
+	if r.obs != nil {
+		r.flushObs(a, b, adopted)
+	}
 	return stopRound, stopped, anyImproved
+}
+
+// flushObs folds the segment's per-explorer tallies into the attached
+// observer. Runs single-threaded between segments, so the atomic
+// instruments are touched once per segment, never in the round loop.
+func (r *run) flushObs(a, b int, adopted int64) {
+	o := r.obs
+	rounds := int64(b - a)
+	o.Rounds.Add(rounds)
+	o.ExplorerRounds.Add(rounds * int64(len(r.explorers)))
+	var swaps, resets int64
+	for _, ex := range r.explorers {
+		swaps += ex.statSwaps
+		resets += ex.statResets
+		ex.statSwaps, ex.statResets = 0, 0
+	}
+	o.Swaps.Add(swaps)
+	o.Resets.Add(resets)
+	o.Merges.Inc()
+	o.Improvements.Add(adopted)
+	best := r.globalUtil()
+	o.BestUtility.Set(best)
+	o.Trace.Emit(obs.EvSERound, "se", float64(rounds), "")
+	if resets > 0 {
+		o.Trace.Emit(obs.EvReset, "se", float64(resets), "")
+	}
+	o.Trace.Emit(obs.EvSegmentMerge, "se", best, "")
 }
 
 // adoptLocal folds one explorer's local best into the global tracker;
@@ -531,6 +575,12 @@ type explorer struct {
 	bestN    int
 	haveBest bool
 	events   []improvement
+
+	// statSwaps and statResets are plain per-segment tallies (each
+	// explorer is owned by one goroutine during a segment); the run
+	// flushes them into the attached observer at merge time.
+	statSwaps  int64
+	statResets int64
 }
 
 // thread is one parallel feasible solution f_n with its proposed swap.
@@ -717,6 +767,7 @@ func (ex *explorer) setTimer(th *thread) {
 // rates encode. The hot-path savings are taken on the race side instead,
 // where memorylessness makes them exact.
 func (ex *explorer) rearm() {
+	ex.statResets++
 	for _, th := range ex.threads {
 		if th.active {
 			ex.setTimer(th)
@@ -771,6 +822,7 @@ func (ex *explorer) stepRound(round int) {
 	}
 	th := ex.threads[winner]
 	th.applySwap(ex.run)
+	ex.statSwaps++
 	ex.offer(th, round)
 	ex.rearm()
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/obs"
 )
 
 // Coordinator errors.
@@ -48,6 +49,10 @@ type CoordinatorConfig struct {
 	// Events are pushed to all workers at the given wall-clock offsets
 	// after the run starts.
 	Events []TimedEvent
+	// Obs, when non-nil, receives coordinator-side telemetry: per-type
+	// message counts, connected-worker gauge, per-task latency, and the
+	// session best-utility gauge. Nil disables every hook.
+	Obs *obs.DistObserver
 }
 
 // TimedEvent schedules a dynamic event relative to run start.
@@ -133,6 +138,8 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 	// Hand out tasks with per-worker seeds.
 	for g, c := range conns {
 		task := Task{
+			TaskID:        fmt.Sprintf("task-%d", g),
+			Attempt:       1,
 			Sizes:         co.cfg.Instance.Sizes,
 			Latencies:     co.cfg.Instance.Latencies,
 			DDL:           co.cfg.Instance.DDL,
@@ -218,12 +225,14 @@ func (co *Coordinator) acceptWorkers() ([]*codec, error) {
 			return nil, fmt.Errorf("dist: accept: %w", err)
 		}
 		c := newCodec(conn)
+		c.obs = co.cfg.Obs
 		env, err := c.recv(co.cfg.AcceptTimeout)
 		if err != nil || env.Type != MsgHello {
 			_ = conn.Close()
 			continue
 		}
 		conns = append(conns, c)
+		co.cfg.Obs.SetWorkersConnected(len(conns))
 	}
 	return conns, nil
 }
@@ -243,6 +252,7 @@ func (co *Coordinator) collect(conns []*codec) []Result {
 	timer := time.AfterFunc(co.cfg.RunTimeout, stopAll)
 	defer timer.Stop()
 
+	dispatched := time.Now()
 	for _, c := range conns {
 		c := c
 		wg.Add(1)
@@ -274,6 +284,10 @@ func (co *Coordinator) collect(conns []*codec) []Result {
 				case MsgResult:
 					r, err := decode[Result](env)
 					if err == nil {
+						co.cfg.Obs.ObserveTaskLatency(time.Since(dispatched).Seconds())
+						if r.Err != "" {
+							co.cfg.Obs.TaskFailed(r.WorkerID, r.Err)
+						}
 						mu.Lock()
 						results = append(results, r)
 						mu.Unlock()
@@ -296,6 +310,7 @@ func (co *Coordinator) noteProgress(p Progress) bool {
 		co.best = Result{WorkerID: p.WorkerID, Utility: p.Utility, Iterations: p.Iterations}
 		co.haveBest = true
 		co.improves = 0
+		co.cfg.Obs.SetBestUtility(p.Utility)
 		return false
 	}
 	co.improves++

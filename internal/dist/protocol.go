@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/obs"
 )
 
 // MsgType enumerates the wire messages.
@@ -60,6 +61,13 @@ type Hello struct {
 
 // Task is the assignment sent to a worker.
 type Task struct {
+	// TaskID correlates a task across dispatch, progress, errors, and
+	// traces (failure_log-style context); empty on pre-ID coordinators.
+	TaskID string `json:"taskId,omitempty"`
+	// Attempt counts how many times this task has been dispatched
+	// (1-based); 0 from pre-ID coordinators is treated as 1.
+	Attempt int `json:"attempt,omitempty"`
+
 	Sizes     []int     `json:"sizes"`
 	Latencies []float64 `json:"latencies"`
 	DDL       float64   `json:"ddl"`
@@ -139,17 +147,21 @@ type Best struct {
 // Result is a worker's final answer.
 type Result struct {
 	WorkerID   string  `json:"workerId"`
+	TaskID     string  `json:"taskId,omitempty"`
+	Attempt    int     `json:"attempt,omitempty"`
 	Utility    float64 `json:"utility"`
 	Selected   []bool  `json:"selected"`
 	Iterations int     `json:"iterations"`
 	Err        string  `json:"err,omitempty"`
 }
 
-// codec frames envelopes over a connection.
+// codec frames envelopes over a connection. The optional obs sink counts
+// every message by type and direction (nil is off).
 type codec struct {
 	conn net.Conn
 	r    *bufio.Reader
 	enc  *json.Encoder
+	obs  *obs.DistObserver
 }
 
 func newCodec(conn net.Conn) *codec {
@@ -169,6 +181,7 @@ func (c *codec) send(t MsgType, body any) error {
 	if err := c.enc.Encode(Envelope{Type: t, Body: raw}); err != nil {
 		return fmt.Errorf("dist: send %s: %w", t, err)
 	}
+	c.obs.MsgSent(string(t))
 	return nil
 }
 
@@ -191,6 +204,7 @@ func (c *codec) recv(deadline time.Duration) (Envelope, error) {
 	if err := json.Unmarshal(line, &env); err != nil {
 		return Envelope{}, fmt.Errorf("dist: decode envelope: %w", err)
 	}
+	c.obs.MsgRecv(string(env.Type))
 	return env, nil
 }
 

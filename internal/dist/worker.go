@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/obs"
 )
 
 // Worker errors.
@@ -23,6 +24,26 @@ type Worker struct {
 	// rounds. It paces the chain against wall-clock event schedules (and
 	// keeps small instances from finishing before online events arrive).
 	Throttle time.Duration
+	// Obs, when non-nil, receives worker-side protocol telemetry:
+	// per-type message counts, control-queue depth, and task errors.
+	Obs *obs.DistObserver
+	// SEObs, when non-nil, is threaded into the worker's SE engine so
+	// its kernel counters land in the same registry as the protocol's.
+	SEObs *obs.SEObserver
+}
+
+// taskRef renders the failure-log correlation context for a task: its
+// ID (assigned by the coordinator) and dispatch attempt.
+func taskRef(task Task) string {
+	id := task.TaskID
+	if id == "" {
+		id = "?"
+	}
+	attempt := task.Attempt
+	if attempt < 1 {
+		attempt = 1
+	}
+	return fmt.Sprintf("task %s attempt %d", id, attempt)
 }
 
 // Run dials the coordinator, executes the assigned task, and returns the
@@ -42,6 +63,7 @@ func (w Worker) Run(addr string) (Result, error) {
 	}
 	defer conn.Close()
 	c := newCodec(conn)
+	c.obs = w.Obs
 	if err := c.send(MsgHello, Hello{WorkerID: w.ID}); err != nil {
 		return Result{}, err
 	}
@@ -63,9 +85,12 @@ func (w Worker) Run(addr string) (Result, error) {
 		Seed:    task.Seed,
 		Gamma:   task.Gamma,
 		Workers: task.SEWorkers,
+		Obs:     w.SEObs,
 	})
 	if err != nil {
-		res := Result{WorkerID: w.ID, Err: err.Error()}
+		err = fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, err)
+		w.Obs.TaskFailed(w.ID, err.Error())
+		res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error()}
 		_ = c.send(MsgResult, res)
 		return res, err
 	}
@@ -134,6 +159,7 @@ func (w Worker) Run(addr string) (Result, error) {
 			}
 		}
 		// Drain control messages without blocking the chain.
+		w.Obs.SetQueueDepth(len(ctrl))
 		for drained := false; !drained; {
 			select {
 			case env, ok := <-ctrl:
@@ -165,16 +191,36 @@ func (w Worker) Run(addr string) (Result, error) {
 		}
 	}
 
-	res := Result{WorkerID: w.ID, Iterations: engine.Iterations()}
+	res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
 	if applyErr != nil {
-		res.Err = applyErr.Error()
+		res.Err = fmt.Errorf("dist: %s (worker %s): apply event: %w", taskRef(task), w.ID, applyErr).Error()
 	} else if sol, err := engine.Best(); err != nil {
-		res.Err = err.Error()
+		res.Err = fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, err).Error()
 	} else {
 		res.Utility = sol.Utility
 		res.Selected = sol.Selected
 	}
+	if res.Err != "" {
+		w.Obs.TaskFailed(w.ID, res.Err)
+	}
 	_ = c.send(MsgResult, res)
+	// Linger until the coordinator consumes the result and closes the
+	// connection (the reader closes ctrl on EOF). Closing right away can
+	// lose the result: unread best-utility pushes still buffered on this
+	// socket turn the close into a TCP RST, which discards the final
+	// report before the coordinator reads it.
+	linger := time.After(3 * time.Second)
+drain:
+	for {
+		select {
+		case _, ok := <-ctrl:
+			if !ok {
+				break drain
+			}
+		case <-linger:
+			break drain
+		}
+	}
 	select {
 	case err := <-readErr:
 		return res, err

@@ -25,6 +25,7 @@ import (
 
 	"mvcom/internal/chain"
 	"mvcom/internal/core"
+	"mvcom/internal/obs"
 	"mvcom/internal/overlay"
 	"mvcom/internal/pbft"
 	"mvcom/internal/pow"
@@ -100,6 +101,11 @@ type Config struct {
 	PoolDriven bool
 	// Seed drives every stochastic component.
 	Seed int64
+	// Obs, when non-nil, receives pipeline telemetry: per-committee
+	// stage-latency histograms, the cumulative-age gauge (the Π_i
+	// accounting term), permitted/deferred/failed counters, and
+	// phase-transition trace events. Nil disables every hook.
+	Obs *obs.EpochObserver
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -368,12 +374,18 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		return nil, fmt.Errorf("epoch %d schedule: %w", p.epoch, err)
 	}
 	res.Solution = sol
+	if o := p.cfg.Obs; o != nil {
+		o.Trace.Emit(obs.EvEpochPhase, "epoch", float64(p.epoch), "schedule")
+		o.PermittedTxs.Add(int64(sol.Load))
+		o.PermittedCommittees.Add(int64(sol.Count))
+	}
 
 	// Stage 4+5: assemble the final block from permitted shards and
 	// append it (randomness refresh happens inside Append). Refused
 	// committees defer to the next epoch with reduced latency (Fig. 3):
 	// l' = max(l − t_j, 0) plus a fresh consensus round.
 	var shards []*chain.ShardBlock
+	cumAge := 0.0
 	for li, ri := range res.Live {
 		rep := reports[ri]
 		if li < len(sol.Selected) && sol.Selected[li] {
@@ -382,6 +394,12 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 				return nil, fmt.Errorf("epoch %d shard header: %w", p.epoch, sbErr)
 			}
 			shards = append(shards, sb)
+			if o := p.cfg.Obs; o != nil {
+				age := in.Age(li)
+				cumAge += age
+				o.ShardAge.Observe(age)
+				o.Trace.Emit(obs.EvShardAge, fmt.Sprintf("committee-%d", rep.Committee), age, "")
+			}
 			continue
 		}
 		carried := rep
@@ -401,6 +419,12 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		return nil, fmt.Errorf("epoch %d final block: %w", p.epoch, err)
 	}
 	res.FinalBlock = fb
+	if o := p.cfg.Obs; o != nil {
+		o.Trace.Emit(obs.EvEpochPhase, "epoch", float64(p.epoch), "final-block-assembly")
+		o.CumulativeAge.Set(cumAge)
+		o.DeferredCommittees.Add(int64(len(res.Deferred)))
+		o.Epochs.Inc()
+	}
 	return res, nil
 }
 
@@ -504,6 +528,21 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 	}
 	if cfg.FailureRate > 0 {
 		p.injectFailures(net, committees, reports)
+	}
+	if o := cfg.Obs; o != nil {
+		epochN := float64(p.epoch)
+		o.Trace.Emit(obs.EvEpochPhase, "epoch", epochN, "formation")
+		o.Trace.Emit(obs.EvEpochPhase, "epoch", epochN, "intra-consensus")
+		failed := int64(0)
+		for _, rep := range reports {
+			o.Formation.Observe(rep.Formation.Seconds())
+			o.Consensus.Observe(rep.Consensus.Seconds())
+			o.TwoPhase.Observe(rep.TwoPhase.Seconds())
+			if rep.Failed {
+				failed++
+			}
+		}
+		o.FailedCommittees.Add(failed)
 	}
 	return reports, nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"mvcom/internal/core"
 	"mvcom/internal/epoch"
+	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/txgen"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// serial kernel. Results are identical either way — this knob only
 	// trades wall-clock time.
 	Workers int
+	// Obs, when non-nil, receives live instrumentation from every SE
+	// solver and epoch pipeline a runner builds (kernel counters, stage
+	// latency histograms, the cumulative-age gauge). Nil disables every
+	// hook; results are identical either way.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -234,10 +240,11 @@ func paperInstance(rng *randx.RNG, nShards, capacity int, alpha float64, nminFra
 }
 
 // solverSet builds the paper's four algorithms with budgets scaled for the
-// instance size.
-func solverSet(seed int64, gamma, maxIters, workers int) []core.Solver {
+// instance size. Only the SE solver is instrumented — the baselines have
+// no kernel hooks.
+func solverSet(seed int64, gamma, maxIters, workers int, reg *obs.Registry) []core.Solver {
 	return []core.Solver{
-		core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: maxIters, ConvergenceWindow: maxIters / 10}),
+		core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: maxIters, ConvergenceWindow: maxIters / 10, Obs: obs.NewSEObserver(reg)}),
 		baselineSA(seed, maxIters),
 		baselineDP(),
 		baselineWOA(seed, maxIters),
@@ -245,7 +252,7 @@ func solverSet(seed int64, gamma, maxIters, workers int) []core.Solver {
 }
 
 // measurementPipeline builds the epoch pipeline used by Fig. 2.
-func measurementPipeline(seed int64, committees, committeeSize int) (*epoch.Pipeline, error) {
+func measurementPipeline(seed int64, committees, committeeSize int, reg *obs.Registry) (*epoch.Pipeline, error) {
 	return epoch.NewPipeline(epoch.Config{
 		Committees:    committees,
 		CommitteeSize: committeeSize,
@@ -254,5 +261,6 @@ func measurementPipeline(seed int64, committees, committeeSize int) (*epoch.Pipe
 			MeanTxs: 1850,
 		},
 		Seed: seed,
+		Obs:  obs.NewEpochObserver(reg),
 	})
 }

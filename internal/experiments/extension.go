@@ -7,6 +7,7 @@ import (
 	"mvcom/internal/core"
 	"mvcom/internal/epoch"
 	"mvcom/internal/metrics"
+	"mvcom/internal/obs"
 	"mvcom/internal/txgen"
 )
 
@@ -35,6 +36,7 @@ func ExtThroughput(opts Options) (FigureResult, error) {
 		{name: "SE", make: func(seed int64) epoch.Scheduler {
 			return epoch.SolverScheduler{Solver: core.NewSE(core.SEConfig{
 				Seed: seed, Gamma: 4, Workers: opts.Workers, MaxIters: 4000,
+				Obs: obs.NewSEObserver(opts.Obs),
 			})}
 		}},
 		{name: "Greedy", make: func(seed int64) epoch.Scheduler {
@@ -64,6 +66,7 @@ func ExtThroughput(opts Options) (FigureResult, error) {
 					MeanTxs: 1200,
 				},
 				Seed: opts.Seed, // identical world for every scheduler
+				Obs:  obs.NewEpochObserver(opts.Obs),
 			})
 			if err != nil {
 				return FigureResult{}, err

@@ -6,6 +6,7 @@ import (
 	"mvcom/internal/baseline"
 	"mvcom/internal/core"
 	"mvcom/internal/metrics"
+	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/stats"
 )
@@ -39,7 +40,7 @@ func Fig2a(opts Options) (FigureResult, error) {
 	for _, nodes := range networkSizes {
 		n := scaleInt(nodes, opts.Scale, committeeSize*2)
 		committees := n / committeeSize
-		p, err := measurementPipeline(opts.Seed, committees, committeeSize)
+		p, err := measurementPipeline(opts.Seed, committees, committeeSize, opts.Obs)
 		if err != nil {
 			return FigureResult{}, err
 		}
@@ -80,7 +81,7 @@ func Fig2b(opts Options) (FigureResult, error) {
 		return FigureResult{}, err
 	}
 	committees := scaleInt(60, opts.Scale, 8)
-	p, err := measurementPipeline(opts.Seed, committees, 16)
+	p, err := measurementPipeline(opts.Seed, committees, 16, opts.Obs)
 	if err != nil {
 		return FigureResult{}, err
 	}
@@ -144,6 +145,7 @@ func Fig8(opts Options) (FigureResult, error) {
 		se := core.NewSE(core.SEConfig{
 			Seed: opts.Seed, Gamma: gamma, Workers: opts.Workers,
 			MaxIters: maxIters, ConvergenceWindow: maxIters,
+			Obs: obs.NewSEObserver(opts.Obs),
 		})
 		_, trace, err := se.Solve(in.Clone())
 		if err != nil {
@@ -196,7 +198,7 @@ func Fig9a(opts Options) (FigureResult, error) {
 		{AtIteration: 2 * maxIters / 3, Kind: core.EventJoin, Index: target,
 			Size: in.Sizes[target], Latency: in.Latencies[target]},
 	}
-	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters})
+	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters, Obs: obs.NewSEObserver(opts.Obs)})
 	_, trace, err := se.SolveOnline(in.Clone(), events)
 	if err != nil {
 		return FigureResult{}, err
@@ -260,7 +262,7 @@ func Fig9b(opts Options) (FigureResult, error) {
 			Latency:     lat,
 		})
 	}
-	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters})
+	se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 1, Workers: opts.Workers, MaxIters: maxIters, Obs: obs.NewSEObserver(opts.Obs)})
 	_, trace, err := se.SolveOnline(in, events)
 	if err != nil {
 		return FigureResult{}, err
@@ -306,7 +308,7 @@ func Fig10(opts Options) (FigureResult, error) {
 			fmt.Sprintf("|I|=%d capacity=%d alpha=1.5 gamma=25", nShards, capacity),
 		},
 	}
-	for idx, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers) {
+	for idx, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers, opts.Obs) {
 		sol, _, err := s.Solve(in.Clone())
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("%s: %w", s.Name(), err)
@@ -326,7 +328,7 @@ func convergenceComparison(opts Options, in core.Instance, gamma, maxIters int) 
 	grid := metrics.Grid(maxIters, 50)
 	var series []Series
 	finals := make(map[string]float64)
-	for _, s := range solverSet(opts.Seed, gamma, maxIters, opts.Workers) {
+	for _, s := range solverSet(opts.Seed, gamma, maxIters, opts.Workers, opts.Obs) {
 		sol, trace, err := s.Solve(in.Clone())
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", s.Name(), err)
@@ -438,7 +440,7 @@ func Fig13(opts Options) (FigureResult, error) {
 		in := paperInstance(rng, nShards, capacity, alpha, 0)
 		perAlgo := make(map[string][]float64)
 		for rep := 0; rep < repeats; rep++ {
-			for _, s := range solverSet(opts.Seed+int64(rep*131), 25, maxIters, opts.Workers) {
+			for _, s := range solverSet(opts.Seed+int64(rep*131), 25, maxIters, opts.Workers, opts.Obs) {
 				sol, _, err := s.Solve(in.Clone())
 				if err != nil {
 					return FigureResult{}, fmt.Errorf("alpha=%g rep=%d %s: %w", alpha, rep, s.Name(), err)
@@ -516,7 +518,7 @@ func Fig14(opts Options) (FigureResult, error) {
 				Latency:     lat,
 			})
 		}
-		se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 25, Workers: opts.Workers, MaxIters: maxIters})
+		se := core.NewSE(core.SEConfig{Seed: opts.Seed, Gamma: 25, Workers: opts.Workers, MaxIters: maxIters, Obs: obs.NewSEObserver(opts.Obs)})
 		seSol, _, err := se.SolveOnline(in.Clone(), events)
 		if err != nil {
 			return FigureResult{}, fmt.Errorf("alpha=%g SE online: %w", alpha, err)
@@ -524,7 +526,7 @@ func Fig14(opts Options) (FigureResult, error) {
 		utilities["SE"] = append(utilities["SE"], seSol.Utility)
 		// Offline baselines on the final candidate set.
 		finalIn := full.Clone()
-		for _, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers)[1:] {
+		for _, s := range solverSet(opts.Seed, 25, maxIters, opts.Workers, opts.Obs)[1:] {
 			sol, _, err := s.Solve(finalIn.Clone())
 			if err != nil {
 				return FigureResult{}, fmt.Errorf("alpha=%g %s: %w", alpha, s.Name(), err)

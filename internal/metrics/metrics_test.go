@@ -57,6 +57,47 @@ func TestConvergenceIterationNegativeUtility(t *testing.T) {
 	if it != 10 {
 		t.Fatalf("it %v", it)
 	}
+
+	// fraction 1.0 with a negative final: target equals the final value
+	// exactly, reached only at the last point.
+	it, err = ConvergenceIteration(tr, 1.0)
+	if err != nil || it != 10 {
+		t.Fatalf("fraction 1.0: it %v err %v", it, err)
+	}
+
+	// A mid-trace point already within the band converges early: the
+	// target for final -50 at 0.5 is -100, met by the very first point.
+	it, err = ConvergenceIteration(tr, 0.5)
+	if err != nil || it != 1 {
+		t.Fatalf("fraction 0.5: it %v err %v", it, err)
+	}
+
+	// Deep negative trail: no point before the last reaches -40/0.9 ≈
+	// -44.4, so the fall-through returns the final iteration.
+	deep := tracePoints(1, -500, 20, -300, 80, -40)
+	it, err = ConvergenceIteration(deep, 0.9)
+	if err != nil || it != 80 {
+		t.Fatalf("deep negative: it %v err %v", it, err)
+	}
+
+	// Mixed-sign trace ending negative must use the flipped target, not
+	// final*fraction (which would sit above every point and pick iter 1).
+	mixed := tracePoints(1, 50, 30, -200, 90, -20)
+	it, err = ConvergenceIteration(mixed, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target is -20/0.5 = -40; iter 1 (+50) already satisfies ≥ -40.
+	if it != 1 {
+		t.Fatalf("mixed signs: it %v", it)
+	}
+
+	// Zero final utility: target is 0 regardless of direction.
+	zero := tracePoints(1, -10, 40, 0)
+	it, err = ConvergenceIteration(zero, 0.8)
+	if err != nil || it != 40 {
+		t.Fatalf("zero final: it %v err %v", it, err)
+	}
 }
 
 func TestResample(t *testing.T) {

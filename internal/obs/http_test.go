@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mvcom_http_test_total", "endpoint test").Add(7)
+	reg.Tracer().Emit(EvEpochPhase, "epoch", 1, "formation")
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	text, ctype := get("/metrics")
+	if !strings.Contains(text, "mvcom_http_test_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", text)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+
+	js, ctype := get("/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json content type %q", ctype)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(js), &doc); err != nil {
+		t.Fatalf("/metrics.json does not parse: %v", err)
+	}
+	if doc.Counters["mvcom_http_test_total"] != 7 {
+		t.Fatalf("/metrics.json counters = %v", doc.Counters)
+	}
+
+	trace, _ := get("/trace")
+	var tdoc struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(trace), &tdoc); err != nil {
+		t.Fatalf("/trace does not parse: %v", err)
+	}
+	if len(tdoc.Events) != 1 || tdoc.Events[0].Detail != "formation" {
+		t.Fatalf("/trace events = %+v", tdoc.Events)
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.Contains(vars, "memstats") {
+		t.Fatal("/debug/vars missing expvar memstats")
+	}
+
+	pp, _ := get("/debug/pprof/")
+	if !strings.Contains(pp, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("127.0.0.1:-1", NewRegistry()); err == nil {
+		t.Fatal("expected listen error for invalid address")
+	}
+}

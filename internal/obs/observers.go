@@ -1,0 +1,218 @@
+package obs
+
+import "sync"
+
+// SEObserver groups the instruments of the Stochastic-Exploration kernel
+// (internal/core). The kernel accumulates plain per-explorer tallies in
+// its hot loop and flushes them here only at segment merges, so the
+// atomic instruments are touched once per ~64 rounds, not per round.
+// A nil *SEObserver is fully inert.
+type SEObserver struct {
+	// Rounds counts transition rounds advanced by the coordinator.
+	Rounds *Counter
+	// ExplorerRounds counts per-explorer rounds (Rounds × Γ).
+	ExplorerRounds *Counter
+	// Swaps counts accepted swap transitions (State Transit executions).
+	Swaps *Counter
+	// Resets counts RESET broadcasts (full timer re-arms, Alg. 1 l. 19).
+	Resets *Counter
+	// Merges counts explorer-segment merges at kernel sync points.
+	Merges *Counter
+	// Improvements counts global-best improvements adopted at merges.
+	Improvements *Counter
+	// Joins and Leaves count dynamic candidate events applied.
+	Joins  *Counter
+	Leaves *Counter
+	// BestUtility tracks the current global best utility.
+	BestUtility *Gauge
+	// Trace receives EvSERound / EvSwapAccept / EvReset /
+	// EvSegmentMerge / EvShardJoin / EvShardLeave events.
+	Trace *Tracer
+}
+
+// NewSEObserver registers the SE kernel instruments on reg; returns nil
+// (inert) when reg is nil.
+func NewSEObserver(reg *Registry) *SEObserver {
+	if reg == nil {
+		return nil
+	}
+	return &SEObserver{
+		Rounds:         reg.Counter("mvcom_se_rounds_total", "SE transition rounds advanced"),
+		ExplorerRounds: reg.Counter("mvcom_se_explorer_rounds_total", "per-explorer SE rounds advanced (rounds x gamma)"),
+		Swaps:          reg.Counter("mvcom_se_swaps_total", "accepted swap transitions"),
+		Resets:         reg.Counter("mvcom_se_resets_total", "RESET broadcasts re-arming solution threads"),
+		Merges:         reg.Counter("mvcom_se_segment_merges_total", "explorer-segment merges at sync points"),
+		Improvements:   reg.Counter("mvcom_se_improvements_total", "global-best improvements adopted"),
+		Joins:          reg.Counter("mvcom_se_events_total{kind=\"join\"}", "dynamic candidate events applied"),
+		Leaves:         reg.Counter("mvcom_se_events_total{kind=\"leave\"}", "dynamic candidate events applied"),
+		BestUtility:    reg.Gauge("mvcom_se_best_utility", "current global best utility"),
+		Trace:          reg.Tracer(),
+	}
+}
+
+// DistObserver groups the instruments of the distributed protocol
+// (internal/dist), shared by the codec, coordinator, and worker of one
+// role. A nil *DistObserver is fully inert.
+type DistObserver struct {
+	reg  *Registry
+	role string
+
+	// WorkersConnected gauges how many workers the coordinator accepted.
+	WorkersConnected *Gauge
+	// QueueDepth gauges the worker's pending control-message queue.
+	QueueDepth *Gauge
+	// TaskLatency observes task-dispatch-to-result seconds per worker.
+	TaskLatency *Histogram
+	// TaskErrors counts worker tasks that ended in an error.
+	TaskErrors *Counter
+	// BestUtility tracks the session's best reported utility.
+	BestUtility *Gauge
+	// Trace receives EvDistSend / EvDistRecv / EvDistTaskError events.
+	Trace *Tracer
+
+	sent, recv sync.Map // message type -> *Counter
+}
+
+// NewDistObserver registers the dist protocol instruments on reg for the
+// given role ("coordinator" or "worker"); returns nil when reg is nil.
+func NewDistObserver(reg *Registry, role string) *DistObserver {
+	if reg == nil {
+		return nil
+	}
+	return &DistObserver{
+		reg:              reg,
+		role:             role,
+		WorkersConnected: reg.Gauge("mvcom_dist_workers_connected", "workers accepted by the coordinator"),
+		QueueDepth:       reg.Gauge("mvcom_dist_ctrl_queue_depth{role=\""+role+"\"}", "pending control messages on the worker loop"),
+		TaskLatency:      reg.Histogram("mvcom_dist_task_seconds", "task dispatch to final result, seconds", ExponentialBuckets(0.01, 2, 14)),
+		TaskErrors:       reg.Counter("mvcom_dist_task_errors_total", "worker tasks that ended in an error"),
+		BestUtility:      reg.Gauge("mvcom_dist_best_utility", "best utility reported in the session"),
+		Trace:            reg.Tracer(),
+	}
+}
+
+// SetWorkersConnected records the coordinator's accepted-worker count.
+// No-op on a nil observer.
+func (o *DistObserver) SetWorkersConnected(n int) {
+	if o == nil {
+		return
+	}
+	o.WorkersConnected.Set(float64(n))
+}
+
+// ObserveTaskLatency records one task's dispatch-to-result latency in
+// seconds. No-op on a nil observer.
+func (o *DistObserver) ObserveTaskLatency(seconds float64) {
+	if o == nil {
+		return
+	}
+	o.TaskLatency.Observe(seconds)
+}
+
+// TaskFailed counts a task error and traces it. No-op on a nil observer.
+func (o *DistObserver) TaskFailed(actor, detail string) {
+	if o == nil {
+		return
+	}
+	o.TaskErrors.Inc()
+	o.Trace.Emit(EvDistTaskError, actor, 0, detail)
+}
+
+// SetBestUtility records the session's best reported utility. No-op on
+// a nil observer.
+func (o *DistObserver) SetBestUtility(u float64) {
+	if o == nil {
+		return
+	}
+	o.BestUtility.Set(u)
+}
+
+// SetQueueDepth records the worker's pending control-queue depth. No-op
+// on a nil observer.
+func (o *DistObserver) SetQueueDepth(n int) {
+	if o == nil {
+		return
+	}
+	o.QueueDepth.Set(float64(n))
+}
+
+// MsgSent counts one protocol message sent, labeled by type and role.
+func (o *DistObserver) MsgSent(msgType string) {
+	if o == nil {
+		return
+	}
+	o.msgCounter(&o.sent, "tx", msgType).Inc()
+	o.Trace.Emit(EvDistSend, o.role, 0, msgType)
+}
+
+// MsgRecv counts one protocol message received, labeled by type and role.
+func (o *DistObserver) MsgRecv(msgType string) {
+	if o == nil {
+		return
+	}
+	o.msgCounter(&o.recv, "rx", msgType).Inc()
+	o.Trace.Emit(EvDistRecv, o.role, 0, msgType)
+}
+
+// msgCounter caches per-type counters so the registry lock is only taken
+// the first time a message type appears.
+func (o *DistObserver) msgCounter(cache *sync.Map, dir, msgType string) *Counter {
+	if c, ok := cache.Load(msgType); ok {
+		return c.(*Counter)
+	}
+	name := "mvcom_dist_messages_total{role=\"" + o.role + "\",dir=\"" + dir + "\",type=\"" + msgType + "\"}"
+	c := o.reg.Counter(name, "dist protocol messages by role, direction, and type")
+	cache.Store(msgType, c)
+	return c
+}
+
+// EpochObserver groups the instruments of the epoch pipeline
+// (internal/epoch): per-committee latency histograms, the cumulative-age
+// gauge matching the paper's Π_i term, and phase-transition trace
+// events. A nil *EpochObserver is fully inert.
+type EpochObserver struct {
+	// Epochs counts completed epochs.
+	Epochs *Counter
+	// Formation, Consensus, and TwoPhase observe per-committee stage
+	// latencies in seconds (l_i breakdown).
+	Formation *Histogram
+	Consensus *Histogram
+	TwoPhase  *Histogram
+	// ShardAge observes each permitted shard's age t_j − l_i at
+	// final-block inclusion, in seconds.
+	ShardAge *Histogram
+	// CumulativeAge gauges the latest epoch's Σ x_i (t_j − l_i) — the
+	// Π_i accounting term of the valuable-degree metric.
+	CumulativeAge *Gauge
+	// PermittedTxs and PermittedCommittees count the scheduling output;
+	// DeferredCommittees counts refusals carried to the next epoch;
+	// FailedCommittees counts confirmed mid-epoch failures.
+	PermittedTxs        *Counter
+	PermittedCommittees *Counter
+	DeferredCommittees  *Counter
+	FailedCommittees    *Counter
+	// Trace receives EvEpochPhase and EvShardAge events.
+	Trace *Tracer
+}
+
+// NewEpochObserver registers the epoch pipeline instruments on reg;
+// returns nil when reg is nil.
+func NewEpochObserver(reg *Registry) *EpochObserver {
+	if reg == nil {
+		return nil
+	}
+	latency := ExponentialBuckets(16, 2, 12) // 16 s .. 32768 s
+	return &EpochObserver{
+		Epochs:              reg.Counter("mvcom_epoch_total", "completed epochs"),
+		Formation:           reg.Histogram("mvcom_epoch_formation_seconds", "committee formation latency (stages 1+2)", latency),
+		Consensus:           reg.Histogram("mvcom_epoch_consensus_seconds", "intra-committee consensus latency (stage 3)", latency),
+		TwoPhase:            reg.Histogram("mvcom_epoch_two_phase_seconds", "committee two-phase latency l_i", latency),
+		ShardAge:            reg.Histogram("mvcom_epoch_shard_age_seconds", "permitted shard age t_j - l_i at inclusion", ExponentialBuckets(1, 2, 14)),
+		CumulativeAge:       reg.Gauge("mvcom_epoch_cumulative_age_seconds", "latest epoch's cumulative permitted-shard age"),
+		PermittedTxs:        reg.Counter("mvcom_epoch_permitted_txs_total", "transactions permitted into final blocks"),
+		PermittedCommittees: reg.Counter("mvcom_epoch_permitted_committees_total", "committees permitted into final blocks"),
+		DeferredCommittees:  reg.Counter("mvcom_epoch_deferred_committees_total", "committees refused and deferred to the next epoch"),
+		FailedCommittees:    reg.Counter("mvcom_epoch_failed_committees_total", "committees confirmed failed mid-epoch"),
+		Trace:               reg.Tracer(),
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// EventType identifies a structured trace event.
+type EventType uint8
+
+// The typed events emitted by the instrumented subsystems.
+const (
+	// EvSERound marks a batch of SE transition rounds (Value = rounds).
+	EvSERound EventType = iota + 1
+	// EvSwapAccept marks an accepted swap that improved the global best
+	// (Value = new best utility).
+	EvSwapAccept
+	// EvReset marks RESET broadcasts re-arming the solution threads
+	// (Value = broadcast count in the segment).
+	EvReset
+	// EvSegmentMerge marks an explorer-segment merge at a kernel sync
+	// point (Value = best utility after the merge).
+	EvSegmentMerge
+	// EvShardJoin marks a dynamic join event entering the candidate set.
+	EvShardJoin
+	// EvShardLeave marks a dynamic leave event trimming the state space.
+	EvShardLeave
+	// EvDistSend marks a protocol message sent (Detail = message type).
+	EvDistSend
+	// EvDistRecv marks a protocol message received (Detail = type).
+	EvDistRecv
+	// EvDistTaskError marks a worker task failing (Detail = error).
+	EvDistTaskError
+	// EvEpochPhase marks an epoch pipeline phase transition (Detail =
+	// phase name, Value = epoch number).
+	EvEpochPhase
+	// EvShardAge records a permitted shard's age at inclusion in the
+	// final block (Value = age in seconds, Actor = committee).
+	EvShardAge
+)
+
+// String names the event type for exposition.
+func (t EventType) String() string {
+	switch t {
+	case EvSERound:
+		return "se_round"
+	case EvSwapAccept:
+		return "se_swap_accept"
+	case EvReset:
+		return "se_reset"
+	case EvSegmentMerge:
+		return "se_segment_merge"
+	case EvShardJoin:
+		return "shard_join"
+	case EvShardLeave:
+		return "shard_leave"
+	case EvDistSend:
+		return "dist_send"
+	case EvDistRecv:
+		return "dist_recv"
+	case EvDistTaskError:
+		return "dist_task_error"
+	case EvEpochPhase:
+		return "epoch_phase"
+	case EvShardAge:
+		return "shard_age"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON emits the symbolic name, not the raw code.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON parses the symbolic name back; unknown names decode to 0
+// so trace consumers tolerate events from newer writers.
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for c := EvSERound; c <= EvShardAge; c++ {
+		if c.String() == name {
+			*t = c
+			return nil
+		}
+	}
+	*t = 0
+	return nil
+}
+
+// Event is one structured trace record.
+type Event struct {
+	// Seq is the global emission sequence number (gap-free; gaps in a
+	// snapshot mean drops).
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock emission time.
+	At time.Time `json:"at"`
+	// Type is the typed event kind.
+	Type EventType `json:"type"`
+	// Actor identifies the emitting component (worker id, committee, …).
+	Actor string `json:"actor,omitempty"`
+	// Value carries the event's headline number (utility, count, age).
+	Value float64 `json:"value,omitempty"`
+	// Detail is free-form context (message type, phase, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of trace events. Writers never block
+// and the buffer never grows: once full, each new event evicts the
+// oldest and the eviction is counted as a drop, so the tracer always
+// reports exactly how much history it lost.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events ever emitted == next Seq
+	dropped uint64
+}
+
+// NewTracer returns a tracer bounded to the given capacity (min 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Emit appends an event, evicting the oldest when full. Safe for
+// concurrent use; no-op on a nil tracer.
+func (t *Tracer) Emit(typ EventType, actor string, value float64, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	seq := t.next
+	t.next++
+	if seq >= uint64(len(t.buf)) {
+		t.dropped++
+	}
+	t.buf[seq%uint64(len(t.buf))] = Event{
+		Seq: seq, At: now, Type: typ, Actor: actor, Value: value, Detail: detail,
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first plus the number of
+// events dropped (evicted) so far.
+func (t *Tracer) Snapshot() ([]Event, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	capU := uint64(len(t.buf))
+	start := uint64(0)
+	if n > capU {
+		start = n - capU
+	}
+	out := make([]Event, 0, n-start)
+	for s := start; s < n; s++ {
+		out = append(out, t.buf[s%capU])
+	}
+	return out, t.dropped
+}
+
+// Emitted returns how many events were ever emitted (0 for nil).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dropped returns how many events were evicted unread (0 for nil).
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerBoundedAndOrdered(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Emit(EvSERound, "se", float64(i), "")
+	}
+	events, dropped := tr.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("retained %d events, want capacity 16", len(events))
+	}
+	if dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	if tr.Emitted() != 40 {
+		t.Fatalf("emitted = %d, want 40", tr.Emitted())
+	}
+	// Oldest-first, gap-free sequence over the retained window.
+	for i, ev := range events {
+		if want := uint64(24 + i); ev.Seq != want {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Value != float64(24+i) {
+			t.Fatalf("events[%d].Value = %g, want %d", i, ev.Value, 24+i)
+		}
+	}
+}
+
+func TestTracerNoDropsUnderCapacity(t *testing.T) {
+	tr := NewTracer(64)
+	for i := 0; i < 64; i++ {
+		tr.Emit(EvSwapAccept, "se", float64(i), "")
+	}
+	events, dropped := tr.Snapshot()
+	if len(events) != 64 || dropped != 0 {
+		t.Fatalf("got %d events, %d dropped; want 64, 0", len(events), dropped)
+	}
+	if events[0].Seq != 0 || events[63].Seq != 63 {
+		t.Fatalf("sequence window [%d, %d], want [0, 63]", events[0].Seq, events[63].Seq)
+	}
+}
+
+func TestTracerMinimumCapacity(t *testing.T) {
+	tr := NewTracer(1)
+	for i := 0; i < 20; i++ {
+		tr.Emit(EvReset, "se", 0, "")
+	}
+	events, dropped := tr.Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("capacity floor: retained %d, want 16", len(events))
+	}
+	if dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", dropped)
+	}
+}
+
+func TestEventTypeJSON(t *testing.T) {
+	ev := Event{Seq: 7, Type: EvEpochPhase, Actor: "epoch", Value: 3, Detail: "formation"}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["type"] != "epoch_phase" {
+		t.Fatalf("type marshals as %v, want symbolic name epoch_phase", m["type"])
+	}
+	if EventType(0).String() != "unknown" {
+		t.Fatal("zero EventType should stringify as unknown")
+	}
+}
