@@ -19,6 +19,29 @@ go build ./...
 go vet ./...
 go test -race ./...
 
+# Order-independence gate: the full suite again with a shuffled test
+# order, catching hidden inter-test state.
+go test -shuffle=on ./...
+
+# Chaos stage: the deterministic fault-injection suite, twice under the
+# race detector. These tests kill workers mid-run, force reconnects, and
+# exercise task reassignment and the local-solve fallback; -count 2
+# re-runs them with fresh injector state to shake out order effects.
+go test -race -count 2 -run 'TestDistFault' ./internal/dist/
+
+# Coverage gate: the hardened dist layer plus the fault-injection
+# package must keep >= 80% combined statement coverage.
+mkdir -p results
+go test -coverprofile results/coverage_dist.out \
+	-coverpkg mvcom/internal/dist,mvcom/internal/faultinject \
+	./internal/dist/ ./internal/faultinject/
+go tool cover -func results/coverage_dist.out | awk '
+	/^total:/ {
+		sub(/%/, "", $3)
+		printf "dist+faultinject coverage: %.1f%% (gate 80%%)\n", $3
+		if ($3 + 0 < 80) { print "coverage gate: below 80%" > "/dev/stderr"; exit 1 }
+	}'
+
 # Instrumentation overhead guard (DESIGN.md §5c): the SE solver with a
 # live observer attached must stay within 3% of the detached (nil
 # observer) run. The benchmark interleaves the variants per iteration
@@ -27,6 +50,7 @@ go test -race ./...
 # every repetition).
 bench_out="$(go test -run '^$' -bench '^BenchmarkSESolveObs$' -benchtime 100x -count 3 .)"
 echo "$bench_out"
+echo "$bench_out" > results/obs_bench.txt
 echo "$bench_out" | awk '
 	/^BenchmarkSESolveObs/ { if (!r || $5 < r) r = $5 }
 	END {

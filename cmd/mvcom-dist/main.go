@@ -9,6 +9,12 @@
 //	mvcom-dist -mode coordinator -listen :9700 -workers 3
 //	mvcom-dist -mode worker -connect host:9700 -id w1
 //	mvcom-dist -mode demo -workers 4      # everything in one process
+//
+// Chaos runs arm the named fault points of both roles with -fault-spec
+// (see internal/faultinject), e.g.:
+//
+//	mvcom-dist -mode demo -workers 3 -retry-max 3 \
+//	    -fault-spec 'worker.task:after=1,times=1,action=drop'
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"mvcom/internal/dist"
 	"mvcom/internal/experiments"
+	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 )
 
@@ -46,8 +53,21 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 20*time.Second, "run timeout")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+
+		faultSpec  = fs.String("fault-spec", "", "fault-injection spec, e.g. 'worker.send:after=2,times=1,action=drop;coordinator.assign:prob=0.1' (empty = off)")
+		faultSeed  = fs.Int64("fault-seed", 1, "seed for the fault injector's trigger RNG")
+		retryMax   = fs.Int("retry-max", 1, "worker session attempts (dial + reconnects); 1 = no retry")
+		backoff    = fs.Duration("backoff", 50*time.Millisecond, "base reconnect backoff (doubles per attempt, jittered)")
+		backoffCap = fs.Duration("backoff-cap", 2*time.Second, "reconnect backoff ceiling")
+		heartbeat  = fs.Duration("heartbeat", 10*time.Second, "coordinator heartbeat timeout: silence before a worker is declared dead")
+		taskTries  = fs.Int("task-attempts", 3, "dispatch attempts per task before it is abandoned")
+		noFallback = fs.Bool("no-local-fallback", false, "fail instead of degrading to a local in-process solve when every worker is lost")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fi, err := faultinject.Parse(*faultSpec, *faultSeed)
+	if err != nil {
 		return err
 	}
 
@@ -65,9 +85,13 @@ func run(args []string) error {
 	switch *mode {
 	case "worker":
 		w := dist.Worker{
-			ID:    *id,
-			Obs:   obs.NewDistObserver(reg, "worker"),
-			SEObs: obs.NewSEObserver(reg),
+			ID:          *id,
+			MaxAttempts: *retryMax,
+			BackoffBase: *backoff,
+			BackoffCap:  *backoffCap,
+			FI:          fi,
+			Obs:         obs.NewDistObserver(reg, "worker"),
+			SEObs:       obs.NewSEObserver(reg),
 		}
 		res, err := w.Run(*connect)
 		if err != nil {
@@ -86,13 +110,17 @@ func run(args []string) error {
 			addr = "127.0.0.1:0"
 		}
 		co, err := dist.NewCoordinator(addr, dist.CoordinatorConfig{
-			Instance:   in,
-			Workers:    *workers,
-			RunTimeout: *timeout,
-			Seed:       *seed,
-			Gamma:      *gamma,
-			SEWorkers:  *sework,
-			Obs:        obs.NewDistObserver(reg, "coordinator"),
+			Instance:             in,
+			Workers:              *workers,
+			RunTimeout:           *timeout,
+			HeartbeatTimeout:     *heartbeat,
+			MaxTaskAttempts:      *taskTries,
+			DisableLocalFallback: *noFallback,
+			Seed:                 *seed,
+			Gamma:                *gamma,
+			SEWorkers:            *sework,
+			FI:                   fi,
+			Obs:                  obs.NewDistObserver(reg, "coordinator"),
 		})
 		if err != nil {
 			return err
@@ -109,7 +137,15 @@ func run(args []string) error {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					w := dist.Worker{ID: fmt.Sprintf("demo-%d", g), Obs: wObs, SEObs: seObs}
+					w := dist.Worker{
+						ID:          fmt.Sprintf("demo-%d", g),
+						MaxAttempts: *retryMax,
+						BackoffBase: *backoff,
+						BackoffCap:  *backoffCap,
+						FI:          fi,
+						Obs:         wObs,
+						SEObs:       seObs,
+					}
 					if _, err := w.Run(co.Addr()); err != nil {
 						fmt.Fprintf(os.Stderr, "worker %d: %v\n", g, err)
 					}

@@ -9,6 +9,25 @@ func TestDemoMode(t *testing.T) {
 	}
 }
 
+func TestDemoModeWithFaults(t *testing.T) {
+	// One demo worker is killed at task start; retries and task
+	// reassignment must still land the session on a solution.
+	args := []string{
+		"-mode", "demo", "-workers", "2", "-shards", "16", "-capacity", "12000",
+		"-timeout", "8s", "-retry-max", "3",
+		"-fault-spec", "worker.task:times=1,action=drop",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFaultSpecRejected(t *testing.T) {
+	if err := run([]string{"-mode", "demo", "-fault-spec", "worker.task:action=explode"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
 func TestUnknownMode(t *testing.T) {
 	if err := run([]string{"-mode", "hybrid"}); err == nil {
 		t.Fatal("unknown mode accepted")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 )
 
@@ -23,6 +24,10 @@ type CoordinatorConfig struct {
 	// Instance is the epoch's scheduling input.
 	Instance core.Instance
 	// Workers is how many workers to wait for before starting. Required.
+	// Fewer workers at AcceptTimeout expiry is tolerated: the session
+	// proceeds with the connected subset, and with zero workers the
+	// coordinator degrades to a local in-process solve (unless
+	// DisableLocalFallback is set).
 	Workers int
 	// AcceptTimeout bounds the wait for workers to connect. Default 10 s.
 	AcceptTimeout time.Duration
@@ -36,6 +41,22 @@ type CoordinatorConfig struct {
 	ReportEvery int
 	// MaxIterations caps each worker's rounds. Default 20000.
 	MaxIterations int
+	// HeartbeatTimeout bounds the silence tolerated from a worker
+	// mid-run. A worker that sends neither progress nor a result within
+	// the window is declared dead, its connection is closed, and its
+	// task becomes eligible for reassignment. Default 10 s.
+	HeartbeatTimeout time.Duration
+	// MaxTaskAttempts caps how many times one task may be dispatched
+	// (the first dispatch counts). A task orphaned by a dead worker is
+	// re-dispatched — to a surviving worker once it finishes its own
+	// task, or to a worker that reconnects mid-run — until the cap is
+	// reached, after which it is abandoned. Default 3.
+	MaxTaskAttempts int
+	// DisableLocalFallback turns off the graceful degradation to an
+	// in-process SE solve when no worker delivers a feasible result; the
+	// run then fails with ErrNoWorkers/ErrNoResult as the pre-hardening
+	// coordinator did.
+	DisableLocalFallback bool
 	// Beta, Tau, Seed mirror core.SEConfig; worker g receives Seed+g.
 	Beta float64
 	Tau  float64
@@ -49,9 +70,13 @@ type CoordinatorConfig struct {
 	// Events are pushed to all workers at the given wall-clock offsets
 	// after the run starts.
 	Events []TimedEvent
+	// FI, when non-nil, evaluates the coordinator-side fault points
+	// (coordinator.accept / assign / send / recv). Nil is off.
+	FI *faultinject.Injector
 	// Obs, when non-nil, receives coordinator-side telemetry: per-type
-	// message counts, connected-worker gauge, per-task latency, and the
-	// session best-utility gauge. Nil disables every hook.
+	// message counts, connected-worker gauge, per-task latency, fault
+	// and retry counters, and the session best-utility gauge. Nil
+	// disables every hook.
 	Obs *obs.DistObserver
 }
 
@@ -76,6 +101,12 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.MaxIterations <= 0 {
 		c.MaxIterations = 20000
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 3
 	}
 	if c.Beta <= 0 {
 		c.Beta = 2
@@ -119,59 +150,109 @@ func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
 // Close releases the listener.
 func (co *Coordinator) Close() error { return co.ln.Close() }
 
+// session is the per-Run recovery state: the live connection set, the
+// orphaned-task queue, and the outstanding-task count that decides when
+// the run is over.
+type session struct {
+	co         *Coordinator
+	dispatched time.Time
+
+	mu      sync.Mutex
+	live    map[*codec]bool
+	all     []*codec
+	results []Result
+	pending int
+	stopped bool
+
+	orphans  chan Task
+	stopOnce sync.Once
+	stopDone chan struct{}
+	wg       sync.WaitGroup
+
+	// evmu orders event delivery against task dispatch: every assign
+	// replays the full event history to the task's fresh engine, and
+	// holding evmu across both the replay and the live pushes means a
+	// connection never sees an event duplicated or out of order relative
+	// to its current task.
+	evmu     sync.Mutex
+	events   []EventMsg
+	caughtUp map[*codec]bool
+}
+
 // Run accepts the configured number of workers, distributes the task,
-// relays events, and returns the best solution any worker reported. The
-// instance returned alongside reflects join events so the selection can be
+// relays events, detects and recovers from worker failures, and returns
+// the best solution any worker reported. If every worker is lost (or none
+// ever connects) the coordinator degrades to a local in-process solve of
+// the same instance unless DisableLocalFallback is set. The instance
+// returned alongside reflects join events so the selection can be
 // interpreted.
 func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 	inst := co.cfg.Instance.Clone()
 	conns, err := co.acceptWorkers()
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrNoWorkers) {
 		return core.Solution{}, inst, err
 	}
+	if len(conns) == 0 {
+		if co.cfg.DisableLocalFallback {
+			return core.Solution{}, inst, err
+		}
+		sol, lerr := co.localSolve(inst)
+		return sol, inst, lerr
+	}
+
+	s := &session{
+		co:         co,
+		dispatched: time.Now(),
+		live:       make(map[*codec]bool, len(conns)),
+		orphans:    make(chan Task, len(conns)),
+		stopDone:   make(chan struct{}),
+		pending:    len(conns),
+		caughtUp:   make(map[*codec]bool),
+	}
 	defer func() {
-		for _, c := range conns {
+		s.mu.Lock()
+		all := append([]*codec(nil), s.all...)
+		s.mu.Unlock()
+		for _, c := range all {
 			_ = c.conn.Close()
 		}
 	}()
 
-	// Hand out tasks with per-worker seeds.
+	timer := time.AfterFunc(co.cfg.RunTimeout, s.stopAll)
+	defer timer.Stop()
+
+	// Hand out tasks with per-worker seeds and start one serve loop per
+	// connection; keep accepting late (reconnecting) workers so orphaned
+	// tasks can land on fresh connections mid-run.
 	for g, c := range conns {
-		task := Task{
-			TaskID:        fmt.Sprintf("task-%d", g),
-			Attempt:       1,
-			Sizes:         co.cfg.Instance.Sizes,
-			Latencies:     co.cfg.Instance.Latencies,
-			DDL:           co.cfg.Instance.DDL,
-			Alpha:         co.cfg.Instance.Alpha,
-			Capacity:      co.cfg.Instance.Capacity,
-			Nmin:          co.cfg.Instance.Nmin,
-			Beta:          co.cfg.Beta,
-			Tau:           co.cfg.Tau,
-			Seed:          co.cfg.Seed + int64(g)*7919,
-			Gamma:         co.cfg.Gamma,
-			SEWorkers:     co.cfg.SEWorkers,
-			ReportEvery:   co.cfg.ReportEvery,
-			MaxIterations: co.cfg.MaxIterations,
-		}
-		if err := c.send(MsgTask, task); err != nil {
-			return core.Solution{}, inst, err
-		}
+		s.register(c)
+		task := co.task(g)
+		s.wg.Add(1)
+		go func(c *codec, task Task) {
+			defer s.wg.Done()
+			s.serve(c, &task)
+		}(c, task)
 	}
+	s.wg.Add(1)
+	go s.acceptLate()
 
 	// Apply events to the local instance copy as they are pushed, so the
-	// final selection maps onto the right shard set. Sends to workers that
-	// already finished are best-effort — a worker may legitimately have
-	// stopped or died, which the session tolerates everywhere else too.
+	// final selection maps onto the right shard set. Sends to workers
+	// that already finished are best-effort — a worker may legitimately
+	// have stopped or died, which the session tolerates everywhere else
+	// too.
 	done := make(chan struct{})
 	var evMu sync.Mutex
 	go func() {
 		defer close(done)
 		start := time.Now()
 		for _, te := range co.cfg.Events {
-			wait := te.After - time.Since(start)
-			if wait > 0 {
-				time.Sleep(wait)
+			if wait := te.After - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-s.stopDone:
+					return
+				}
 			}
 			evMu.Lock()
 			if ev := te.Event; ev.Kind == core.EventJoin && (ev.Index < 0 || ev.Index >= inst.NumShards()) {
@@ -179,18 +260,37 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 				inst.Latencies = append(inst.Latencies, ev.Latency)
 			}
 			evMu.Unlock()
-			for _, c := range conns {
-				_ = c.send(MsgEvent, FromEvent(te.Event))
-			}
+			s.pushEvent(FromEvent(te.Event))
 		}
 	}()
 
-	results := co.collect(conns)
+	s.wg.Wait()
+	s.stopAll()
 	<-done
+	// Stop admitting stragglers: a worker re-dialing after the session
+	// ended would otherwise sit in the accept backlog waiting for a task
+	// that will never come. Closed here (not in stopAll) so acceptLate's
+	// final iterations see the deadline kick, not a surprise close.
+	_ = co.ln.Close()
 
-	best, ok := pickBest(results)
+	// Anything still queued never found a worker before the run ended.
+	for {
+		select {
+		case t := <-s.orphans:
+			co.cfg.Obs.TaskAbandoned(t.TaskID, t.Attempt)
+			continue
+		default:
+		}
+		break
+	}
+
+	best, ok := pickBest(s.results)
 	if !ok {
-		return core.Solution{}, inst, ErrNoResult
+		if co.cfg.DisableLocalFallback {
+			return core.Solution{}, inst, ErrNoResult
+		}
+		sol, lerr := co.localSolve(inst)
+		return sol, inst, lerr
 	}
 	evMu.Lock()
 	defer evMu.Unlock()
@@ -207,7 +307,51 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 	return sol, inst, nil
 }
 
-// acceptWorkers blocks until the configured number of workers said hello.
+// task builds the g-th initial assignment.
+func (co *Coordinator) task(g int) Task {
+	return Task{
+		TaskID:        fmt.Sprintf("task-%d", g),
+		Attempt:       1,
+		Sizes:         co.cfg.Instance.Sizes,
+		Latencies:     co.cfg.Instance.Latencies,
+		DDL:           co.cfg.Instance.DDL,
+		Alpha:         co.cfg.Instance.Alpha,
+		Capacity:      co.cfg.Instance.Capacity,
+		Nmin:          co.cfg.Instance.Nmin,
+		Beta:          co.cfg.Beta,
+		Tau:           co.cfg.Tau,
+		Seed:          co.cfg.Seed + int64(g)*7919,
+		Gamma:         co.cfg.Gamma,
+		SEWorkers:     co.cfg.SEWorkers,
+		ReportEvery:   co.cfg.ReportEvery,
+		MaxIterations: co.cfg.MaxIterations,
+	}
+}
+
+// localSolve is the graceful-degradation path: solve the instance as
+// currently known with the in-process SE kernel, using the session's own
+// solver parameters.
+func (co *Coordinator) localSolve(inst core.Instance) (core.Solution, error) {
+	co.cfg.Obs.LocalFallbackUsed()
+	local := inst.Clone()
+	if err := local.Validate(); err != nil {
+		return core.Solution{}, err
+	}
+	sol, _, err := core.NewSE(core.SEConfig{
+		Beta:     co.cfg.Beta,
+		Tau:      co.cfg.Tau,
+		Seed:     co.cfg.Seed,
+		Gamma:    co.cfg.Gamma,
+		Workers:  co.cfg.SEWorkers,
+		MaxIters: co.cfg.MaxIterations,
+	}).Solve(local)
+	return sol, err
+}
+
+// acceptWorkers blocks until the configured number of workers said hello
+// or the accept window closes. A partial house is tolerated: at deadline
+// expiry the session proceeds with whoever connected; only an empty house
+// returns ErrNoWorkers.
 func (co *Coordinator) acceptWorkers() ([]*codec, error) {
 	deadline := time.Now().Add(co.cfg.AcceptTimeout)
 	var conns []*codec
@@ -219,13 +363,19 @@ func (co *Coordinator) acceptWorkers() ([]*codec, error) {
 		}
 		conn, err := co.ln.Accept()
 		if err != nil {
-			if len(conns) == 0 {
-				return nil, fmt.Errorf("%w: %v", ErrNoWorkers, err)
+			if len(conns) > 0 {
+				return conns, nil // partial house: run with what we have
 			}
-			return nil, fmt.Errorf("dist: accept: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrNoWorkers, err)
+		}
+		if d := co.cfg.FI.Eval(FPCoordAccept); d.Action != faultinject.ActNone {
+			co.cfg.Obs.FaultInjected(FPCoordAccept, d.Action.String())
+			_ = conn.Close()
+			continue
 		}
 		c := newCodec(conn)
 		c.obs = co.cfg.Obs
+		c.arm(co.cfg.FI, FPCoordSend, FPCoordRecv)
 		env, err := c.recv(co.cfg.AcceptTimeout)
 		if err != nil || env.Type != MsgHello {
 			_ = conn.Close()
@@ -237,68 +387,283 @@ func (co *Coordinator) acceptWorkers() ([]*codec, error) {
 	return conns, nil
 }
 
-// collect reads progress and results from every worker until all stop.
-func (co *Coordinator) collect(conns []*codec) []Result {
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		results []Result
-	)
-	stopAll := func() {
+// acceptLate admits workers that connect after the run started — chiefly
+// workers re-dialing after a dropped connection — and parks each on the
+// orphan queue so it can pick up a task lost by a dead worker.
+func (s *session) acceptLate() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopDone:
+			return
+		default:
+		}
+		if dl, ok := s.co.ln.(*net.TCPListener); ok {
+			_ = dl.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		}
+		conn, err := s.co.ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return // listener closed
+		}
+		if d := s.co.cfg.FI.Eval(FPCoordAccept); d.Action != faultinject.ActNone {
+			s.co.cfg.Obs.FaultInjected(FPCoordAccept, d.Action.String())
+			_ = conn.Close()
+			continue
+		}
+		c := newCodec(conn)
+		c.obs = s.co.cfg.Obs
+		c.arm(s.co.cfg.FI, FPCoordSend, FPCoordRecv)
+		env, err := c.recv(s.co.cfg.HeartbeatTimeout)
+		if err != nil || env.Type != MsgHello {
+			_ = conn.Close()
+			continue
+		}
+		s.register(c)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(c, nil)
+		}()
+	}
+}
+
+// serve owns one worker connection: dispatch a task, relay its progress,
+// collect its result, and keep feeding it orphaned tasks until the
+// session ends. task == nil parks the connection on the orphan queue
+// first (late joiners).
+func (s *session) serve(c *codec, task *Task) {
+	defer func() { _ = c.conn.Close() }()
+	for {
+		if task == nil {
+			next, ok := s.awaitOrphan()
+			if !ok {
+				// Session over: a best-effort stop lets an idle worker
+				// exit cleanly instead of timing out.
+				_ = c.send(MsgStop, struct{}{})
+				s.unregister(c)
+				return
+			}
+			task = &next
+		}
+		if err := s.assign(c, *task); err != nil {
+			s.workerDead(c, task)
+			return
+		}
+		cur := *task
+		task = nil
+		if !s.serveTask(c, cur) {
+			return
+		}
+	}
+}
+
+// assign dispatches one task over the connection, subject to the
+// coordinator.assign fault point, then replays the full event history so
+// the task's fresh engine catches up with the run's dynamics before live
+// pushes resume for this connection.
+func (s *session) assign(c *codec, task Task) error {
+	if d := s.co.cfg.FI.Eval(FPCoordAssign); d.Action != faultinject.ActNone {
+		switch d.Action {
+		case faultinject.ActDelay:
+			s.co.cfg.Obs.FaultInjected(FPCoordAssign, "delay")
+			time.Sleep(d.Delay)
+		default:
+			s.co.cfg.Obs.FaultInjected(FPCoordAssign, d.Action.String())
+			if d.Action == faultinject.ActDrop {
+				_ = c.conn.Close()
+			}
+			return d.Err
+		}
+	}
+	s.evmu.Lock()
+	defer s.evmu.Unlock()
+	s.caughtUp[c] = false
+	if err := c.send(MsgTask, task); err != nil {
+		return err
+	}
+	for _, m := range s.events {
+		if err := c.send(MsgEvent, m); err != nil {
+			return err
+		}
+	}
+	s.caughtUp[c] = true
+	return nil
+}
+
+// pushEvent records a dynamic event and forwards it to every caught-up
+// connection (those mid-task with the full prior history applied).
+func (s *session) pushEvent(m EventMsg) {
+	s.evmu.Lock()
+	defer s.evmu.Unlock()
+	s.events = append(s.events, m)
+	for _, c := range s.snapshotLive() {
+		if s.caughtUp[c] {
+			_ = c.send(MsgEvent, m)
+		}
+	}
+}
+
+// serveTask relays one task's progress until its result arrives. It
+// returns true when the task resolved (the serve loop may take more
+// work) and false when the connection died (workerDead has already
+// handled the orphaning).
+func (s *session) serveTask(c *codec, cur Task) bool {
+	for {
+		env, err := c.recv(s.co.cfg.HeartbeatTimeout)
+		if err != nil {
+			// Timeout (silent worker) and connection loss both mean the
+			// worker is gone mid-task; the run continues without it.
+			s.workerDead(c, &cur)
+			return false
+		}
+		switch env.Type {
+		case MsgProgress:
+			p, derr := decode[Progress](env)
+			if derr != nil {
+				continue
+			}
+			if s.co.noteProgress(p) {
+				s.stopAll()
+			}
+			// Share the global best back (informational; the paper's
+			// "current system utility" exchange).
+			s.co.mu.Lock()
+			bu := s.co.best.Utility
+			have := s.co.haveBest
+			s.co.mu.Unlock()
+			if have {
+				_ = c.send(MsgBest, Best{Utility: bu})
+			}
+		case MsgResult:
+			r, derr := decode[Result](env)
+			if derr != nil {
+				continue
+			}
+			s.co.cfg.Obs.ObserveTaskLatency(time.Since(s.dispatched).Seconds())
+			if r.Err != "" {
+				s.co.cfg.Obs.TaskFailed(r.WorkerID, r.Err)
+			}
+			s.resolve(&cur, r)
+			return true
+		}
+	}
+}
+
+// resolve folds a task's result into the session: failed results are
+// retried while attempts remain, anything else settles the task. When
+// the last outstanding task settles the session stops.
+func (s *session) resolve(cur *Task, r Result) {
+	s.mu.Lock()
+	s.results = append(s.results, r)
+	if r.Err != "" && !s.stopped && cur.Attempt < s.co.cfg.MaxTaskAttempts {
+		next := *cur
+		next.Attempt++
+		s.co.cfg.Obs.TaskReassigned(next.TaskID, next.Attempt)
+		s.orphans <- next
+		s.mu.Unlock()
+		return
+	}
+	if r.Err != "" {
+		s.co.cfg.Obs.TaskAbandoned(cur.TaskID, cur.Attempt)
+	}
+	s.pending--
+	stop := s.pending <= 0
+	s.mu.Unlock()
+	if stop {
+		s.stopAll()
+	}
+}
+
+// workerDead handles a connection lost mid-task: close it, and either
+// queue the task for another worker (attempts remaining) or abandon it.
+func (s *session) workerDead(c *codec, cur *Task) {
+	s.unregister(c)
+	_ = c.conn.Close()
+	if cur == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.stopped && cur.Attempt < s.co.cfg.MaxTaskAttempts {
+		next := *cur
+		next.Attempt++
+		s.co.cfg.Obs.TaskReassigned(next.TaskID, next.Attempt)
+		s.orphans <- next
+		s.mu.Unlock()
+		return
+	}
+	s.co.cfg.Obs.TaskAbandoned(cur.TaskID, cur.Attempt)
+	s.pending--
+	stop := s.pending <= 0
+	s.mu.Unlock()
+	if stop {
+		s.stopAll()
+	}
+}
+
+// awaitOrphan blocks until a task needs a worker or the session ends.
+func (s *session) awaitOrphan() (Task, bool) {
+	select {
+	case t := <-s.orphans:
+		s.mu.Lock()
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			s.co.cfg.Obs.TaskAbandoned(t.TaskID, t.Attempt)
+			return Task{}, false
+		}
+		return t, true
+	case <-s.stopDone:
+		return Task{}, false
+	}
+}
+
+func (s *session) register(c *codec) {
+	s.mu.Lock()
+	s.live[c] = true
+	s.all = append(s.all, c)
+	s.mu.Unlock()
+}
+
+func (s *session) unregister(c *codec) {
+	s.mu.Lock()
+	delete(s.live, c)
+	s.mu.Unlock()
+}
+
+func (s *session) snapshotLive() []*codec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*codec, 0, len(s.live))
+	for c := range s.live {
+		out = append(out, c)
+	}
+	return out
+}
+
+// stopAll ends the session exactly once: flag it stopped, tell every
+// live worker, release parked serve loops, and kick the late-accept
+// listener out of its blocking Accept.
+func (s *session) stopAll() {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.stopped = true
+		conns := make([]*codec, 0, len(s.live))
+		for c := range s.live {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
 		for _, c := range conns {
 			_ = c.send(MsgStop, struct{}{})
 		}
-	}
-	timer := time.AfterFunc(co.cfg.RunTimeout, stopAll)
-	defer timer.Stop()
-
-	dispatched := time.Now()
-	for _, c := range conns {
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				env, err := c.recv(co.cfg.RunTimeout + 5*time.Second)
-				if err != nil {
-					return // worker died; tolerate
-				}
-				switch env.Type {
-				case MsgProgress:
-					p, err := decode[Progress](env)
-					if err != nil {
-						continue
-					}
-					if co.noteProgress(p) {
-						stopAll()
-					}
-					// Share the global best back (informational; the
-					// paper's "current system utility" exchange).
-					co.mu.Lock()
-					bu := co.best.Utility
-					have := co.haveBest
-					co.mu.Unlock()
-					if have {
-						_ = c.send(MsgBest, Best{Utility: bu})
-					}
-				case MsgResult:
-					r, err := decode[Result](env)
-					if err == nil {
-						co.cfg.Obs.ObserveTaskLatency(time.Since(dispatched).Seconds())
-						if r.Err != "" {
-							co.cfg.Obs.TaskFailed(r.WorkerID, r.Err)
-						}
-						mu.Lock()
-						results = append(results, r)
-						mu.Unlock()
-					}
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return results
+		close(s.stopDone)
+		if dl, ok := s.co.ln.(*net.TCPListener); ok {
+			_ = dl.SetDeadline(time.Now())
+		}
+	})
 }
 
 // noteProgress folds a report into the convergence tracker and reports

@@ -161,9 +161,10 @@ func TestCoordinatorValidation(t *testing.T) {
 
 func TestCoordinatorNoWorkers(t *testing.T) {
 	co, err := NewCoordinator("127.0.0.1:0", CoordinatorConfig{
-		Instance:      distInstance(5, 8),
-		Workers:       1,
-		AcceptTimeout: 200 * time.Millisecond,
+		Instance:             distInstance(5, 8),
+		Workers:              1,
+		AcceptTimeout:        200 * time.Millisecond,
+		DisableLocalFallback: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -21,10 +21,38 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
+)
+
+// The named fault points of the dist layer (see internal/faultinject).
+// Worker points live on the worker process's injector, coordinator points
+// on the coordinator's, so one shared spec can arm both roles without
+// collisions.
+const (
+	// FPWorkerDial fires before the worker dials the coordinator.
+	FPWorkerDial = "worker.dial"
+	// FPWorkerSend / FPWorkerRecv fire on every worker-side protocol
+	// message; ActDrop closes the worker's connection.
+	FPWorkerSend = "worker.send"
+	FPWorkerRecv = "worker.recv"
+	// FPWorkerTask fires when the worker starts an assigned task;
+	// ActError and ActDrop make the task fail with an injected error.
+	FPWorkerTask = "worker.task"
+	// FPCoordSend / FPCoordRecv fire on every coordinator-side protocol
+	// message; ActDrop closes that worker's connection.
+	FPCoordSend = "coordinator.send"
+	FPCoordRecv = "coordinator.recv"
+	// FPCoordAccept fires per accepted connection; any firing rejects
+	// the connection.
+	FPCoordAccept = "coordinator.accept"
+	// FPCoordAssign fires per task dispatch; ActError and ActDrop make
+	// the dispatch fail, orphaning the task for reassignment.
+	FPCoordAssign = "coordinator.assign"
 )
 
 // MsgType enumerates the wire messages.
@@ -156,12 +184,19 @@ type Result struct {
 }
 
 // codec frames envelopes over a connection. The optional obs sink counts
-// every message by type and direction (nil is off).
+// every message by type and direction, and the optional injector
+// evaluates the role's send/recv fault points on every message (both
+// nil-is-off). A write mutex serializes concurrent senders — the
+// coordinator's event relay and its per-worker loop share one codec.
 type codec struct {
 	conn net.Conn
 	r    *bufio.Reader
+	wmu  sync.Mutex
 	enc  *json.Encoder
 	obs  *obs.DistObserver
+
+	fi             *faultinject.Injector
+	fiSend, fiRecv string
 }
 
 func newCodec(conn net.Conn) *codec {
@@ -172,21 +207,62 @@ func newCodec(conn net.Conn) *codec {
 	}
 }
 
+// arm attaches a fault injector with the role's send/recv point names.
+func (c *codec) arm(fi *faultinject.Injector, sendPoint, recvPoint string) {
+	c.fi = fi
+	c.fiSend, c.fiRecv = sendPoint, recvPoint
+}
+
+// inject evaluates one fault point: ActDelay sleeps and proceeds,
+// ActError fails the operation, ActDrop also tears the connection down so
+// both ends observe a real conn loss.
+func (c *codec) inject(point string) error {
+	if c.fi == nil || point == "" {
+		return nil
+	}
+	d := c.fi.Eval(point)
+	switch d.Action {
+	case faultinject.ActDelay:
+		c.obs.FaultInjected(point, "delay")
+		time.Sleep(d.Delay)
+	case faultinject.ActError:
+		c.obs.FaultInjected(point, "error")
+		return d.Err
+	case faultinject.ActDrop:
+		c.obs.FaultInjected(point, "drop")
+		_ = c.conn.Close()
+		return d.Err
+	}
+	return nil
+}
+
 // send marshals body into an envelope and writes it.
 func (c *codec) send(t MsgType, body any) error {
+	if err := c.inject(c.fiSend); err != nil {
+		return fmt.Errorf("dist: send %s: %w", t, err)
+	}
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("dist: marshal %s: %w", t, err)
 	}
-	if err := c.enc.Encode(Envelope{Type: t, Body: raw}); err != nil {
+	c.wmu.Lock()
+	err = c.enc.Encode(Envelope{Type: t, Body: raw})
+	c.wmu.Unlock()
+	if err != nil {
 		return fmt.Errorf("dist: send %s: %w", t, err)
 	}
 	c.obs.MsgSent(string(t))
 	return nil
 }
 
-// recv reads the next envelope, honoring the deadline if non-zero.
+// recv reads the next envelope, honoring the deadline if non-zero. A
+// deadline expiry surfaces as a net.Error whose Timeout() is true (the
+// raw *net.OpError from the socket), so callers can tell a silent peer
+// from a closed connection.
 func (c *codec) recv(deadline time.Duration) (Envelope, error) {
+	if err := c.inject(c.fiRecv); err != nil {
+		return Envelope{}, err
+	}
 	if deadline > 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(deadline)); err != nil {
 			return Envelope{}, err

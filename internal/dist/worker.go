@@ -3,29 +3,57 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 )
 
 // Worker errors.
 var ErrBadTask = errors.New("dist: malformed task")
 
-// Worker runs one SE exploration engine against a coordinator.
+// Worker runs SE exploration tasks against a coordinator.
 type Worker struct {
 	// ID labels the worker in reports. Required.
 	ID string
-	// DialTimeout bounds the connection attempt. Default 5 s.
+	// DialTimeout bounds each connection attempt. Default 5 s.
 	DialTimeout time.Duration
 	// Throttle, when positive, sleeps this long every 100 transition
 	// rounds. It paces the chain against wall-clock event schedules (and
 	// keeps small instances from finishing before online events arrive).
 	Throttle time.Duration
+	// MaxAttempts caps how many sessions (the initial dial plus
+	// reconnects) the worker makes before giving up on a retryable
+	// failure — a dial error, or a connection lost before the
+	// coordinator said stop. Default 1: no retry, the pre-hardening
+	// behavior.
+	MaxAttempts int
+	// BackoffBase is the delay before the first reconnect; attempt k
+	// waits BackoffBase·2^(k-1) plus up to 50% jitter. Default 50 ms.
+	BackoffBase time.Duration
+	// BackoffCap bounds the exponential growth. Default 2 s.
+	BackoffCap time.Duration
+	// BackoffSeed seeds the jitter stream; 0 derives it from ID so
+	// co-located workers never share a reconnect schedule.
+	BackoffSeed int64
+	// IdleTimeout bounds the wait for a follow-up task after delivering
+	// a result; expiry is a clean exit. It doubles as the linger that
+	// keeps the socket open until the coordinator has consumed the
+	// result (closing with unread best-utility pushes buffered would
+	// turn the close into a TCP RST and could discard the report).
+	// Default 3 s.
+	IdleTimeout time.Duration
+	// FI, when non-nil, evaluates the worker-side fault points
+	// (worker.dial / send / recv / task). Nil is off.
+	FI *faultinject.Injector
 	// Obs, when non-nil, receives worker-side protocol telemetry:
-	// per-type message counts, control-queue depth, and task errors.
+	// per-type message counts, control-queue depth, task errors, and
+	// fault/reconnect counters.
 	Obs *obs.DistObserver
 	// SEObs, when non-nil, is threaded into the worker's SE engine so
 	// its kernel counters land in the same registry as the protocol's.
@@ -46,12 +74,76 @@ func taskRef(task Task) string {
 	return fmt.Sprintf("task %s attempt %d", id, attempt)
 }
 
-// Run dials the coordinator, executes the assigned task, and returns the
-// final result it reported. It exits when the coordinator sends stop, the
-// iteration cap is reached, or the connection drops.
+// Run dials the coordinator, executes assigned tasks until the
+// coordinator says stop (or the idle window after a result expires), and
+// returns the last result it reported. Retryable failures — dial errors
+// and connections lost before a stop — are retried with jittered
+// exponential backoff while MaxAttempts allows.
 func (w Worker) Run(addr string) (Result, error) {
 	if w.ID == "" {
 		return Result{}, errors.New("dist: worker needs an ID")
+	}
+	attempts := w.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	base := w.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	capD := w.BackoffCap
+	if capD <= 0 {
+		capD = 2 * time.Second
+	}
+	seed := w.BackoffSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(w.ID))
+		seed = int64(h.Sum64())
+	}
+	jitter := rand.New(rand.NewSource(seed))
+
+	var res Result
+	var retryable bool
+	var err error
+	for attempt := 1; ; attempt++ {
+		res, retryable, err = w.session(addr)
+		if err == nil || !retryable || attempt >= attempts {
+			return res, err
+		}
+		delay := base << (attempt - 1)
+		if delay <= 0 || delay > capD {
+			delay = capD
+		}
+		delay += time.Duration(jitter.Int63n(int64(delay)/2 + 1))
+		w.Obs.WorkerReconnected(w.ID, attempt+1)
+		time.Sleep(delay)
+	}
+}
+
+// takeErr drains a buffered read error without blocking.
+func takeErr(ch <-chan error) error {
+	select {
+	case err := <-ch:
+		return err
+	default:
+		return nil
+	}
+}
+
+// session is one connection's lifetime: dial, hello, then serve tasks
+// until stop, idle expiry, or connection loss. The second return reports
+// whether a failure is retryable (the coordinator may still have work
+// for a fresh connection).
+func (w Worker) session(addr string) (Result, bool, error) {
+	if d := w.FI.Eval(FPWorkerDial); d.Action != faultinject.ActNone {
+		if d.Action == faultinject.ActDelay {
+			w.Obs.FaultInjected(FPWorkerDial, "delay")
+			time.Sleep(d.Delay)
+		} else {
+			w.Obs.FaultInjected(FPWorkerDial, d.Action.String())
+			return Result{}, true, fmt.Errorf("dist: dial %s: %w", addr, d.Err)
+		}
 	}
 	dialTimeout := w.DialTimeout
 	if dialTimeout <= 0 {
@@ -59,24 +151,134 @@ func (w Worker) Run(addr string) (Result, error) {
 	}
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
-		return Result{}, fmt.Errorf("dist: dial %s: %w", addr, err)
+		return Result{}, true, fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	c := newCodec(conn)
 	c.obs = w.Obs
+	c.arm(w.FI, FPWorkerSend, FPWorkerRecv)
 	if err := c.send(MsgHello, Hello{WorkerID: w.ID}); err != nil {
-		return Result{}, err
+		return Result{}, true, err
 	}
-	env, err := c.recv(30 * time.Second)
-	if err != nil {
-		return Result{}, fmt.Errorf("dist: waiting for task: %w", err)
+
+	// Reader goroutine for the whole session: forwards control messages,
+	// closes ctrl on connection loss.
+	ctrl := make(chan Envelope, 16)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(ctrl)
+		for {
+			env, err := c.recv(0)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					select {
+					case readErr <- err:
+					default:
+					}
+				}
+				return
+			}
+			ctrl <- env
+		}
+	}()
+
+	idle := w.IdleTimeout
+	if idle <= 0 {
+		idle = 3 * time.Second
 	}
-	if env.Type != MsgTask {
-		return Result{}, fmt.Errorf("%w: got %s before task", ErrBadTask, env.Type)
+	var last Result
+	delivered := false
+	for {
+		wait := 30 * time.Second // generous window for the first task
+		if delivered {
+			wait = idle
+		}
+		timer := time.NewTimer(wait)
+		var env Envelope
+		var open bool
+		select {
+		case env, open = <-ctrl:
+			timer.Stop()
+		case <-timer.C:
+			if delivered {
+				return last, false, nil // no more work; clean exit
+			}
+			return last, true, fmt.Errorf("dist: waiting for task: timeout after %v", wait)
+		}
+		if !open {
+			if err := takeErr(readErr); err != nil {
+				return last, !delivered, err
+			}
+			if delivered {
+				return last, false, nil
+			}
+			return last, true, errors.New("dist: connection closed before task")
+		}
+		switch env.Type {
+		case MsgTask:
+			task, derr := decode[Task](env)
+			if derr != nil {
+				return last, false, derr
+			}
+			out := w.runTask(c, ctrl, readErr, task)
+			if out.connErr != nil {
+				return out.res, true, out.connErr
+			}
+			last = out.res
+			delivered = true
+			if out.taskErr != nil {
+				return last, false, out.taskErr
+			}
+			if out.stopped {
+				return last, false, nil
+			}
+		case MsgStop:
+			return last, false, nil
+		default:
+			if !delivered {
+				return last, false, fmt.Errorf("%w: got %s before task", ErrBadTask, env.Type)
+			}
+			// Best/event pushes between tasks are informational.
+		}
 	}
-	task, err := decode[Task](env)
-	if err != nil {
-		return Result{}, err
+}
+
+// taskOutcome is how one task ended: connErr means the connection died
+// and the result may never have reached the coordinator (the session is
+// retryable); taskErr is a task-level failure that was reported over the
+// wire; stopped means the coordinator's stop arrived during the run.
+type taskOutcome struct {
+	res     Result
+	stopped bool
+	connErr error
+	taskErr error
+}
+
+// runTask executes one assigned task to completion, relaying progress
+// and draining control messages between step batches.
+func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, task Task) taskOutcome {
+	if d := w.FI.Eval(FPWorkerTask); d.Action != faultinject.ActNone {
+		switch d.Action {
+		case faultinject.ActDelay:
+			w.Obs.FaultInjected(FPWorkerTask, "delay")
+			time.Sleep(d.Delay)
+		case faultinject.ActDrop:
+			// Simulated worker crash mid-task: tear the connection down so
+			// the coordinator sees a real loss and reassigns.
+			w.Obs.FaultInjected(FPWorkerTask, "drop")
+			_ = c.conn.Close()
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt}
+			return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: %w", taskRef(task), d.Err)}
+		default:
+			w.Obs.FaultInjected(FPWorkerTask, "error")
+			err := fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, d.Err)
+			w.Obs.TaskFailed(w.ID, err.Error())
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error()}
+			if serr := c.send(MsgResult, res); serr != nil {
+				return taskOutcome{res: res, connErr: serr}
+			}
+			return taskOutcome{res: res, taskErr: err}
+		}
 	}
 
 	engine, err := core.NewEngine(task.Instance(), core.SEConfig{
@@ -91,26 +293,11 @@ func (w Worker) Run(addr string) (Result, error) {
 		err = fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, err)
 		w.Obs.TaskFailed(w.ID, err.Error())
 		res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error()}
-		_ = c.send(MsgResult, res)
-		return res, err
-	}
-
-	// Reader goroutine: forwards control messages; closes on EOF.
-	ctrl := make(chan Envelope, 16)
-	readErr := make(chan error, 1)
-	go func() {
-		defer close(ctrl)
-		for {
-			env, err := c.recv(0)
-			if err != nil {
-				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-					readErr <- err
-				}
-				return
-			}
-			ctrl <- env
+		if serr := c.send(MsgResult, res); serr != nil {
+			return taskOutcome{res: res, connErr: serr}
 		}
-	}()
+		return taskOutcome{res: res, taskErr: err}
+	}
 
 	reportEvery := task.ReportEvery
 	if reportEvery <= 0 {
@@ -127,9 +314,10 @@ func (w Worker) Run(addr string) (Result, error) {
 	// drained between batches (events land at batch edges, which are the
 	// kernel's synchronization points anyway).
 	const batchRounds = 64
-	stopping := false
+	stopSeen := false
+	ctrlClosed := false
 	var applyErr error
-	for iter := 0; iter < maxIters && !stopping; {
+	for iter := 0; iter < maxIters && !stopSeen; {
 		next := iter + batchRounds
 		if rb := (iter/reportEvery + 1) * reportEvery; rb < next {
 			next = rb
@@ -155,7 +343,8 @@ func (w Worker) Run(addr string) (Result, error) {
 				Utility:    engine.BestUtility(),
 				Feasible:   bErr == nil,
 			}); err != nil {
-				break // coordinator gone; finish up
+				res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
+				return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: report progress: %w", taskRef(task), err)}
 			}
 		}
 		// Drain control messages without blocking the chain.
@@ -164,13 +353,13 @@ func (w Worker) Run(addr string) (Result, error) {
 			select {
 			case env, ok := <-ctrl:
 				if !ok {
-					stopping = true
+					ctrlClosed = true
 					drained = true
 					break
 				}
 				switch env.Type {
 				case MsgStop:
-					stopping = true
+					stopSeen = true
 				case MsgEvent:
 					m, err := decode[EventMsg](env)
 					if err == nil {
@@ -189,6 +378,19 @@ func (w Worker) Run(addr string) (Result, error) {
 				drained = true
 			}
 		}
+		if ctrlClosed && !stopSeen {
+			// Connection lost mid-task with no stop: the task is orphaned
+			// coordinator-side; a fresh session may pick it back up.
+			err := takeErr(readErr)
+			if err == nil {
+				err = errors.New("connection lost mid-task")
+			}
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
+			return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: %w", taskRef(task), err)}
+		}
+		if ctrlClosed {
+			break
+		}
 	}
 
 	res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
@@ -203,28 +405,8 @@ func (w Worker) Run(addr string) (Result, error) {
 	if res.Err != "" {
 		w.Obs.TaskFailed(w.ID, res.Err)
 	}
-	_ = c.send(MsgResult, res)
-	// Linger until the coordinator consumes the result and closes the
-	// connection (the reader closes ctrl on EOF). Closing right away can
-	// lose the result: unread best-utility pushes still buffered on this
-	// socket turn the close into a TCP RST, which discards the final
-	// report before the coordinator reads it.
-	linger := time.After(3 * time.Second)
-drain:
-	for {
-		select {
-		case _, ok := <-ctrl:
-			if !ok {
-				break drain
-			}
-		case <-linger:
-			break drain
-		}
+	if serr := c.send(MsgResult, res); serr != nil && !stopSeen && !ctrlClosed {
+		return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: report result: %w", taskRef(task), serr)}
 	}
-	select {
-	case err := <-readErr:
-		return res, err
-	default:
-	}
-	return res, nil
+	return taskOutcome{res: res, stopped: stopSeen || ctrlClosed}
 }

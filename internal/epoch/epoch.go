@@ -25,6 +25,7 @@ import (
 
 	"mvcom/internal/chain"
 	"mvcom/internal/core"
+	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 	"mvcom/internal/overlay"
 	"mvcom/internal/pbft"
@@ -39,6 +40,13 @@ var (
 	ErrBadConfig = errors.New("epoch: invalid configuration")
 	ErrNoEpochs  = errors.New("epoch: epochs must be >= 1")
 )
+
+// FaultPointCommittee is the pipeline's fault point, evaluated once per
+// member committee per epoch on Config.FaultInjector. Any firing marks
+// that committee failed, exactly as a ping-confirmed mid-epoch death is
+// (Section V), which is the Theorem 2 perturbation: the failed
+// committee's shard leaves the scheduling instance for the epoch.
+const FaultPointCommittee = "epoch.committee"
 
 // Config parameterizes the pipeline.
 type Config struct {
@@ -75,6 +83,12 @@ type Config struct {
 	// by the final committee's ping probes (Section V) and excluded from
 	// the scheduling instance; their shard is lost for the epoch.
 	FailureRate float64
+	// FaultInjector, when non-nil, evaluates FaultPointCommittee once per
+	// member committee per epoch; firings fail targeted committees
+	// deterministically (unlike the FailureRate coin) and do not consume
+	// the pipeline's RNG stream, so a chaos run stays step-for-step
+	// alignable with its fault-free twin. Nil is off.
+	FaultInjector *faultinject.Injector
 	// HashAssignment switches committee formation from solve-order
 	// round-robin to Elastico's identity-bit assignment seeded by the
 	// previous epoch's randomness (stage 5 feeding stage 1).
@@ -525,6 +539,24 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 	engine.Run(0)
 	if done != cfg.Committees {
 		return nil, fmt.Errorf("epoch: only %d of %d committees completed", done, cfg.Committees)
+	}
+	if fi := cfg.FaultInjector; fi != nil {
+		anyLive := false
+		for ci := range reports {
+			if fi.Eval(FaultPointCommittee).Action != faultinject.ActNone {
+				reports[ci].Failed = true
+				if o := cfg.Obs; o != nil {
+					o.Trace.Emit(obs.EvDistFault, FaultPointCommittee,
+						float64(p.epoch), fmt.Sprintf("committee-%d", reports[ci].Committee))
+				}
+			} else {
+				anyLive = true
+			}
+		}
+		if !anyLive && len(reports) > 0 {
+			// Keep at least one committee alive so the epoch can proceed.
+			reports[0].Failed = false
+		}
 	}
 	if cfg.FailureRate > 0 {
 		p.injectFailures(net, committees, reports)

@@ -1,0 +1,120 @@
+package epoch
+
+import (
+	"testing"
+
+	"mvcom/internal/core"
+	"mvcom/internal/faultinject"
+	"mvcom/internal/obs"
+)
+
+// seScheduler builds the SE scheduler used by the chaos epochs.
+func seScheduler(seed int64) Scheduler {
+	return SolverScheduler{Solver: core.NewSE(core.SEConfig{Seed: seed, MaxIters: 600})}
+}
+
+// TestCommitteeFailureDipAndReconvergence is the end-to-end Theorem 2
+// demonstration: epoch 1 runs clean, epoch 2 loses three of eight
+// committees to the injector (the perturbation — their shards leave the
+// scheduling instance), and epoch 3 runs clean again. The permitted
+// utility must dip in the failure epoch and re-converge afterwards, and
+// the stated perturbation bound must hold at the dip.
+func TestCommitteeFailureDipAndReconvergence(t *testing.T) {
+	const committees = 8
+	cfg := fastConfig(committees, 31)
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.NewEpochObserver(reg)
+	// The point is evaluated once per committee per epoch: hits 1-8 are
+	// epoch 1 (pass), hits 9-11 fail three committees of epoch 2, and
+	// the rule is exhausted before epoch 3.
+	fi, err := faultinject.New(31, faultinject.Rule{
+		Point: FaultPointCommittee, After: committees, Times: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultInjector = fi
+
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := p.Trace().TotalTxs() // generous: utility tracks live shard mass
+	results, err := p.RunEpochs(3, seScheduler(31), 1.5, capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	failedAt := make([]int, 3)
+	for i, res := range results {
+		failed := 0
+		for _, rep := range res.Reports {
+			if rep.Failed {
+				failed++
+			}
+		}
+		failedAt[i] = failed
+		// Reports may include deferred carry-overs beyond the fresh
+		// committees; Live must hold exactly the non-failed, non-empty ones.
+		wantLive := 0
+		for _, rep := range res.Reports {
+			if !rep.Failed && rep.TxCount > 0 {
+				wantLive++
+			}
+		}
+		if got := len(res.Live); got != wantLive {
+			t.Fatalf("epoch %d: live = %d, want %d (failed %d)", res.Epoch, got, wantLive, failed)
+		}
+		if !res.Instance.Feasible(res.Solution.Selected) {
+			t.Fatalf("epoch %d: infeasible solution", res.Epoch)
+		}
+	}
+	if failedAt[0] != 0 || failedAt[1] != 3 || failedAt[2] != 0 {
+		t.Fatalf("failures per epoch = %v, want [0 3 0]", failedAt)
+	}
+
+	u1, u2, u3 := results[0].Solution.Utility, results[1].Solution.Utility, results[2].Solution.Utility
+	if u2 >= u1 {
+		t.Fatalf("no utility dip: clean %.1f, failure epoch %.1f", u1, u2)
+	}
+	if u3 <= u2 {
+		t.Fatalf("no re-convergence: failure epoch %.1f, recovered %.1f", u2, u3)
+	}
+
+	// Theorem 2 at the dip: the stationary-distribution perturbation is
+	// bounded by d_TV = 1/2 and the utility shift by the best trimmed
+	// utility.
+	pb := core.PerturbationBound(u2)
+	if pb.TVDistance != 0.5 {
+		t.Fatalf("TV distance %v, want 0.5", pb.TVDistance)
+	}
+	if pb.UtilityBound != u2 {
+		t.Fatalf("utility bound %v, want %v", pb.UtilityBound, u2)
+	}
+
+	if got := cfg.Obs.FailedCommittees.Value(); got != 3 {
+		t.Fatalf("failed committees counter = %d, want 3", got)
+	}
+}
+
+// TestCommitteeFailureKeepsOneAlive arms the injector to fail every
+// committee; the pipeline must keep one alive rather than abort.
+func TestCommitteeFailureKeepsOneAlive(t *testing.T) {
+	cfg := fastConfig(4, 32)
+	fi, err := faultinject.New(32, faultinject.Rule{Point: FaultPointCommittee})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultInjector = fi
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunEpoch(seScheduler(32), 1.5, p.Trace().TotalTxs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Live) != 1 {
+		t.Fatalf("live = %d, want exactly the kept-alive committee", len(res.Live))
+	}
+}

@@ -1,0 +1,81 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseEmptySpecIsOff(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";", " ; "} {
+		in, err := Parse(spec, 1)
+		if err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		if in != nil {
+			t.Fatalf("spec %q produced a live injector", spec)
+		}
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	in, err := Parse("worker.send:after=2,times=1,action=drop; worker.dial:prob=0.25 ;coordinator.recv:action=delay,delay=50ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := in.Points()
+	if len(points) != 3 {
+		t.Fatalf("points %v", points)
+	}
+	// worker.send: two passes free, then one drop, then exhausted.
+	if d := in.Eval("worker.send"); d.Action != ActNone {
+		t.Fatal("fired on first hit despite after=2")
+	}
+	in.Eval("worker.send")
+	if d := in.Eval("worker.send"); d.Action != ActDrop {
+		t.Fatalf("third hit action %v, want drop", d.Action)
+	}
+	if d := in.Eval("worker.send"); d.Action != ActNone {
+		t.Fatal("fired past times=1")
+	}
+	// coordinator.recv: delay decision with the parsed duration.
+	if d := in.Eval("coordinator.recv"); d.Action != ActDelay || d.Delay != 50*time.Millisecond {
+		t.Fatalf("delay decision %+v", d)
+	}
+}
+
+func TestParseBarePointDefaultsToError(t *testing.T) {
+	in, err := Parse("worker.task", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Eval("worker.task"); d.Action != ActError || d.Err == nil {
+		t.Fatalf("bare point decision %+v", d)
+	}
+}
+
+func TestParseDelayActionDefaultDuration(t *testing.T) {
+	in, err := Parse("p:action=delay", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Eval("p"); d.Action != ActDelay || d.Delay <= 0 {
+		t.Fatalf("decision %+v", d)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"p:prob=abc",
+		"p:after=1.5",
+		"p:times=x",
+		"p:delay=fast",
+		"p:action=explode",
+		"p:wat=1",
+		"p:justaword",
+		":prob=1",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}

@@ -67,7 +67,23 @@ type DistObserver struct {
 	TaskErrors *Counter
 	// BestUtility tracks the session's best reported utility.
 	BestUtility *Gauge
-	// Trace receives EvDistSend / EvDistRecv / EvDistTaskError events.
+	// FaultsInjected counts fault-injection decisions that fired at any
+	// of this role's fault points.
+	FaultsInjected *Counter
+	// Reconnects counts worker sessions re-dialed after a lost
+	// connection (backoff retries).
+	Reconnects *Counter
+	// TasksReassigned counts orphaned tasks the coordinator re-dispatched
+	// to a surviving or reconnected worker.
+	TasksReassigned *Counter
+	// TasksAbandoned counts tasks dropped after exhausting the per-task
+	// attempt cap with no worker left to run them.
+	TasksAbandoned *Counter
+	// LocalFallbacks counts sessions that degraded to an in-process
+	// solve because no worker delivered a usable result.
+	LocalFallbacks *Counter
+	// Trace receives EvDistSend / EvDistRecv / EvDistTaskError /
+	// EvDistFault / EvDistRetry events.
 	Trace *Tracer
 
 	sent, recv sync.Map // message type -> *Counter
@@ -87,8 +103,63 @@ func NewDistObserver(reg *Registry, role string) *DistObserver {
 		TaskLatency:      reg.Histogram("mvcom_dist_task_seconds", "task dispatch to final result, seconds", ExponentialBuckets(0.01, 2, 14)),
 		TaskErrors:       reg.Counter("mvcom_dist_task_errors_total", "worker tasks that ended in an error"),
 		BestUtility:      reg.Gauge("mvcom_dist_best_utility", "best utility reported in the session"),
+		FaultsInjected:   reg.Counter("mvcom_dist_faults_injected_total{role=\""+role+"\"}", "injected faults fired at this role's fault points"),
+		Reconnects:       reg.Counter("mvcom_dist_reconnects_total", "worker sessions re-dialed after a lost connection"),
+		TasksReassigned:  reg.Counter("mvcom_dist_tasks_reassigned_total", "orphaned tasks re-dispatched to another worker"),
+		TasksAbandoned:   reg.Counter("mvcom_dist_tasks_abandoned_total", "tasks dropped after exhausting the attempt cap"),
+		LocalFallbacks:   reg.Counter("mvcom_dist_local_fallbacks_total", "sessions degraded to an in-process solve"),
 		Trace:            reg.Tracer(),
 	}
+}
+
+// FaultInjected records one fault-injection firing at a named point.
+// No-op on a nil observer.
+func (o *DistObserver) FaultInjected(point, action string) {
+	if o == nil {
+		return
+	}
+	o.FaultsInjected.Inc()
+	o.Trace.Emit(EvDistFault, point, 0, action)
+}
+
+// WorkerReconnected records one backoff re-dial of a lost session, with
+// the attempt number about to be made. No-op on a nil observer.
+func (o *DistObserver) WorkerReconnected(worker string, attempt int) {
+	if o == nil {
+		return
+	}
+	o.Reconnects.Inc()
+	o.Trace.Emit(EvDistRetry, worker, float64(attempt), "reconnect")
+}
+
+// TaskReassigned records an orphaned task being re-dispatched with the
+// given attempt number. No-op on a nil observer.
+func (o *DistObserver) TaskReassigned(taskID string, attempt int) {
+	if o == nil {
+		return
+	}
+	o.TasksReassigned.Inc()
+	o.Trace.Emit(EvDistRetry, taskID, float64(attempt), "reassign")
+}
+
+// TaskAbandoned records a task dropped after its attempt cap. No-op on a
+// nil observer.
+func (o *DistObserver) TaskAbandoned(taskID string, attempt int) {
+	if o == nil {
+		return
+	}
+	o.TasksAbandoned.Inc()
+	o.Trace.Emit(EvDistRetry, taskID, float64(attempt), "abandon")
+}
+
+// LocalFallbackUsed records a graceful degradation to an in-process
+// solve. No-op on a nil observer.
+func (o *DistObserver) LocalFallbackUsed() {
+	if o == nil {
+		return
+	}
+	o.LocalFallbacks.Inc()
+	o.Trace.Emit(EvDistRetry, "coordinator", 0, "local-fallback")
 }
 
 // SetWorkersConnected records the coordinator's accepted-worker count.

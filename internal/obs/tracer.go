@@ -38,6 +38,13 @@ const (
 	// EvShardAge records a permitted shard's age at inclusion in the
 	// final block (Value = age in seconds, Actor = committee).
 	EvShardAge
+	// EvDistFault marks an injected fault firing at a named fault point
+	// (Actor = point, Detail = action).
+	EvDistFault
+	// EvDistRetry marks a recovery action in the dist layer: a worker
+	// reconnect, a task reassignment, or a local-solve fallback
+	// (Detail = kind, Actor = worker/task, Value = attempt).
+	EvDistRetry
 )
 
 // String names the event type for exposition.
@@ -65,6 +72,10 @@ func (t EventType) String() string {
 		return "epoch_phase"
 	case EvShardAge:
 		return "shard_age"
+	case EvDistFault:
+		return "dist_fault"
+	case EvDistRetry:
+		return "dist_retry"
 	default:
 		return "unknown"
 	}
@@ -82,7 +93,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for c := EvSERound; c <= EvShardAge; c++ {
+	for c := EvSERound; c <= EvDistRetry; c++ {
 		if c.String() == name {
 			*t = c
 			return nil
