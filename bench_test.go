@@ -19,6 +19,7 @@ import (
 	"mvcom/internal/metrics"
 	"mvcom/internal/obs"
 	"mvcom/internal/randx"
+	"mvcom/internal/seobs"
 )
 
 const benchScale = 0.05
@@ -251,9 +252,11 @@ func BenchmarkSESolve(b *testing.B) {
 
 // BenchmarkSESolveObs measures the instrumentation overhead gate from
 // DESIGN.md §5c: the solver with no observer attached (the nil-is-off
-// contract) versus the same run feeding a live registry. ci.sh fails if
-// attached/detached exceeds 1.03, so the kernel's flush-at-merge
-// batching has to keep observer cost out of the per-round hot path.
+// contract) versus the same run feeding a live registry AND the full
+// convergence-diagnostics stream (DESIGN.md §5e). ci.sh fails if
+// attached/detached exceeds 1.03, so both the kernel's flush-at-merge
+// batching and the diag's windowed aggregation have to keep their cost
+// out of the per-round hot path.
 //
 // The two variants are interleaved within each iteration (alternating
 // which goes first) and the ratio reported directly: back-to-back A/B
@@ -261,10 +264,12 @@ func BenchmarkSESolve(b *testing.B) {
 // a shared runner dwarfs the few atomic adds per segment being gated.
 func BenchmarkSESolveObs(b *testing.B) {
 	in := benchInstance(b, 200)
-	seObs := obs.NewSEObserver(obs.NewRegistry())
-	solve := func(o *obs.SEObserver) float64 {
+	reg := obs.NewRegistry()
+	seObs := obs.NewSEObserver(reg)
+	diag := seobs.New(seobs.Config{Registry: reg})
+	solve := func(o *obs.SEObserver, d *seobs.Diag) float64 {
 		sol, _, err := core.NewSE(core.SEConfig{
-			Seed: 1, Gamma: 8, Obs: o,
+			Seed: 1, Gamma: 8, Obs: o, Diag: d,
 			MaxIters: 2000, ConvergenceWindow: 2000,
 		}).Solve(in.Clone())
 		if err != nil {
@@ -276,9 +281,9 @@ func BenchmarkSESolveObs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if i%2 == 0 {
 			start := time.Now()
-			uD := solve(nil)
+			uD := solve(nil, nil)
 			mid := time.Now()
-			uA := solve(seObs)
+			uA := solve(seObs, diag)
 			attached += time.Since(mid)
 			detached += mid.Sub(start)
 			if uD != uA {
@@ -286,9 +291,9 @@ func BenchmarkSESolveObs(b *testing.B) {
 			}
 		} else {
 			start := time.Now()
-			solve(seObs)
+			solve(seObs, diag)
 			mid := time.Now()
-			solve(nil)
+			solve(nil, nil)
 			detached += time.Since(mid)
 			attached += mid.Sub(start)
 		}

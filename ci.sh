@@ -58,3 +58,26 @@ echo "$bench_out" | awk '
 		printf "obs overhead: attached/detached = %.4f (gate 1.03)\n", r
 		if (r > 1.03) { print "bench guard: instrumentation overhead above 3%" > "/dev/stderr"; exit 1 }
 	}'
+
+# Benchmark journal gate (DESIGN.md §5e). First the differ proves itself
+# on synthetic journals with known answers (an injected 20% slowdown
+# must fail, pure resampling noise must pass), then the real wall-time
+# benchmark is sampled, journaled with a convergence probe, and diffed
+# against the committed baseline. The diff is noise-aware (threshold
+# widens with the observed IQR) and degrades wall-time findings to
+# warnings when the environment fingerprint differs from the baseline's,
+# so only allocation growth and same-machine slowdowns break the build.
+go run ./cmd/mvcom-benchdiff -selftest
+go test -run '^$' -bench '^BenchmarkSESolveSize$' -benchtime 30x -count 5 . \
+	| tee results/bench_journal_raw.txt
+go run ./cmd/mvcom-benchdiff -ingest results/bench_journal_raw.txt \
+	-out results/BENCH_MVCOM.json -convergence -note "ci run"
+# The differ's default 10% time threshold suits dedicated hardware; on a
+# shared single-core runner, run-to-run wall-clock drift alone reaches
+# ~30% with bit-identical allocation counts, so the same-fingerprint
+# time gate here is widened to 35% and allocs/op (deterministic, gated
+# at 1%) carries the regression signal. Cross-fingerprint runs (real CI
+# vs the committed baseline's machine) degrade time findings to
+# warnings regardless.
+go run ./cmd/mvcom-benchdiff -old BENCH_MVCOM.json -new results/BENCH_MVCOM.json \
+	-time-threshold 0.35

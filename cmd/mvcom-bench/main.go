@@ -40,13 +40,14 @@ func run(args []string) error {
 		sebench  = fs.Bool("sebench", false, "benchmark the SE kernel (serial vs parallel per Γ) and write BENCH_SE.json")
 		workers  = fs.Int("workers", 0, "SE kernel worker goroutines for figure runs (0 = GOMAXPROCS)")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var reg *obs.Registry
 	if *metrAddr != "" {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistryWithTrace(*traceBuf)
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err

@@ -53,6 +53,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		timeout  = fs.Duration("timeout", 20*time.Second, "run timeout")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 
 		faultSpec  = fs.String("fault-spec", "", "fault-injection spec, e.g. 'worker.send:after=2,times=1,action=drop;coordinator.assign:prob=0.1' (empty = off)")
 		faultSeed  = fs.Int64("fault-seed", 1, "seed for the fault injector's trigger RNG")
@@ -73,7 +74,7 @@ func run(args []string) error {
 
 	var reg *obs.Registry
 	if *metrAddr != "" {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistryWithTrace(*traceBuf)
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err

@@ -54,6 +54,7 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "SE kernel worker goroutines (0 = GOMAXPROCS)")
 		seed        = fs.Int64("seed", 1, "random seed")
 		metrAddr    = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+		traceBuf    = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +62,7 @@ func run(args []string) error {
 
 	var reg *obs.Registry
 	if *metrAddr != "" {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistryWithTrace(*traceBuf)
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err

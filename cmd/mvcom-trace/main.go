@@ -39,6 +39,7 @@ func run(args []string) error {
 		shards   = fs.Int("shards", 0, "if > 0, also print per-shard statistics for this many shards")
 		asJSON   = fs.Bool("json", false, "emit trace/shard statistics as JSON instead of text")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +47,7 @@ func run(args []string) error {
 
 	var reg *obs.Registry
 	if *metrAddr != "" {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistryWithTrace(*traceBuf)
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err

@@ -19,6 +19,7 @@ import (
 	"mvcom/internal/experiments"
 	"mvcom/internal/metrics"
 	"mvcom/internal/obs"
+	"mvcom/internal/seobs"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		verbose  = fs.Bool("v", false, "print the full selection")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
+		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +51,7 @@ func run(args []string) error {
 
 	var reg *obs.Registry
 	if *metrAddr != "" {
-		reg = obs.NewRegistry()
+		reg = obs.NewRegistryWithTrace(*traceBuf)
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err
@@ -62,7 +64,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters, reg)
+	// With a live registry the SE run also feeds the convergence
+	// diagnostics, served at /debug/convergence.
+	var diag *seobs.Diag
+	if reg != nil {
+		diag = seobs.New(seobs.Config{Registry: reg})
+	}
+	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters, reg, diag)
 	if err != nil {
 		return err
 	}
@@ -97,10 +105,10 @@ func run(args []string) error {
 	return nil
 }
 
-func pickSolver(name string, seed int64, gamma, workers, iters int, reg *obs.Registry) (core.Solver, error) {
+func pickSolver(name string, seed int64, gamma, workers, iters int, reg *obs.Registry, diag *seobs.Diag) (core.Solver, error) {
 	switch strings.ToLower(name) {
 	case "se":
-		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters, Obs: obs.NewSEObserver(reg)}), nil
+		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters, Obs: obs.NewSEObserver(reg), Diag: diag}), nil
 	case "sa":
 		return baseline.SA{Seed: seed, Iterations: iters}, nil
 	case "dp":

@@ -1,0 +1,194 @@
+package benchjournal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tunes the differ.
+type Options struct {
+	// TimeThreshold is the minimum relative slowdown of the median
+	// ns/op that counts as a regression. Default 0.10.
+	TimeThreshold float64
+	// AllocThreshold is the relative growth of the median allocs/op that
+	// counts as a regression. Allocations are deterministic per
+	// operation, so this gate is hard even across environments.
+	// Default 0.01.
+	AllocThreshold float64
+	// NoiseFactor widens the time threshold by NoiseFactor times the
+	// larger relative IQR of the two sides: noisy samples demand a larger
+	// slowdown before the gate fires. Default 1.0.
+	NoiseFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeThreshold <= 0 {
+		o.TimeThreshold = 0.10
+	}
+	if o.AllocThreshold <= 0 {
+		o.AllocThreshold = 0.01
+	}
+	if o.NoiseFactor <= 0 {
+		o.NoiseFactor = 1.0
+	}
+	return o
+}
+
+// Severity classifies one finding.
+type Severity string
+
+// The finding severities, ordered: only SevRegression fails the gate.
+const (
+	SevInfo       Severity = "info"
+	SevWarning    Severity = "warning"
+	SevRegression Severity = "regression"
+)
+
+// Finding is one observation of the differ.
+type Finding struct {
+	Benchmark string   `json:"benchmark"`
+	Metric    string   `json:"metric"`
+	Old       float64  `json:"old"`
+	New       float64  `json:"new"`
+	Ratio     float64  `json:"ratio"`
+	Threshold float64  `json:"threshold"`
+	Severity  Severity `json:"severity"`
+	Note      string   `json:"note,omitempty"`
+}
+
+// String renders a finding for the CLI.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%-10s %s %s: %.4g -> %.4g (x%.3f, gate x%.3f)",
+		f.Severity, f.Benchmark, f.Metric, f.Old, f.New, f.Ratio, 1+f.Threshold)
+	if f.Note != "" {
+		s += " — " + f.Note
+	}
+	return s
+}
+
+// Diff compares two journals and reports findings plus whether any
+// finding is a gate-failing regression. Wall-time comparisons use the
+// noise-widened threshold and degrade to warnings when the environment
+// fingerprints differ; allocation comparisons are gated hard everywhere.
+func Diff(oldJ, newJ *Journal, opt Options) ([]Finding, bool) {
+	opt = opt.withDefaults()
+	sameEnv := oldJ.Env == newJ.Env
+
+	var findings []Finding
+	regressed := false
+	seen := map[string]bool{}
+
+	for i := range oldJ.Benchmarks {
+		ob := &oldJ.Benchmarks[i]
+		seen[ob.Name] = true
+		nb := newJ.Find(ob.Name)
+		if nb == nil {
+			findings = append(findings, Finding{
+				Benchmark: ob.Name, Metric: "presence", Severity: SevWarning,
+				Note: "benchmark missing from the new journal",
+			})
+			continue
+		}
+
+		// Wall time: median vs median, threshold widened by noise.
+		if ob.NsPerOp.Median > 0 && nb.NsPerOp.Median > 0 {
+			thresh := opt.TimeThreshold + opt.NoiseFactor*maxRelIQR(ob.NsPerOp, nb.NsPerOp)
+			ratio := nb.NsPerOp.Median / ob.NsPerOp.Median
+			f := Finding{
+				Benchmark: ob.Name, Metric: "ns/op",
+				Old: ob.NsPerOp.Median, New: nb.NsPerOp.Median,
+				Ratio: ratio, Threshold: thresh,
+			}
+			switch {
+			case ratio > 1+thresh && sameEnv:
+				f.Severity, f.Note = SevRegression, "median slowdown beyond the noise-widened gate"
+				regressed = true
+				findings = append(findings, f)
+			case ratio > 1+thresh:
+				f.Severity, f.Note = SevWarning, "slowdown, but the environment fingerprints differ — not gated"
+				findings = append(findings, f)
+			case ratio < 1/(1+thresh):
+				f.Severity, f.Note = SevInfo, "improvement"
+				findings = append(findings, f)
+			}
+		}
+
+		// Allocations: deterministic, hard gate regardless of environment.
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && ob.AllocsPerOp.Median > 0 {
+			ratio := nb.AllocsPerOp.Median / ob.AllocsPerOp.Median
+			if ratio > 1+opt.AllocThreshold {
+				findings = append(findings, Finding{
+					Benchmark: ob.Name, Metric: "allocs/op",
+					Old: ob.AllocsPerOp.Median, New: nb.AllocsPerOp.Median,
+					Ratio: ratio, Threshold: opt.AllocThreshold,
+					Severity: SevRegression,
+					Note:     "allocation growth (hard gate: allocs are deterministic)",
+				})
+				regressed = true
+			}
+		}
+	}
+
+	for i := range newJ.Benchmarks {
+		nb := &newJ.Benchmarks[i]
+		if !seen[nb.Name] {
+			findings = append(findings, Finding{
+				Benchmark: nb.Name, Metric: "presence", Severity: SevInfo,
+				Note: "new benchmark (no baseline)",
+			})
+		}
+	}
+
+	// Convergence headline: informational cross-check, never gated (the
+	// probe is a single stochastic run).
+	if oldJ.Convergence != nil && newJ.Convergence != nil {
+		oc, nc := oldJ.Convergence, newJ.Convergence
+		if nc.DTV > oc.DTV*2 && nc.DTV > 0.1 {
+			findings = append(findings, Finding{
+				Benchmark: "convergence-probe", Metric: "dtv",
+				Old: oc.DTV, New: nc.DTV, Ratio: safeRatio(nc.DTV, oc.DTV),
+				Severity: SevWarning,
+				Note:     "d_TV estimate worsened markedly; check the SE kernel's mixing",
+			})
+		}
+	}
+
+	sort.SliceStable(findings, func(a, b int) bool {
+		return sevRank(findings[a].Severity) > sevRank(findings[b].Severity)
+	})
+	return findings, regressed
+}
+
+func sevRank(s Severity) int {
+	switch s {
+	case SevRegression:
+		return 2
+	case SevWarning:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// maxRelIQR returns the larger IQR/median of the two stats — the noise
+// scale the time gate widens by.
+func maxRelIQR(a, b Stat) float64 {
+	ra, rb := 0.0, 0.0
+	if a.Median > 0 {
+		ra = a.IQR / a.Median
+	}
+	if b.Median > 0 {
+		rb = b.IQR / b.Median
+	}
+	if ra > rb {
+		return ra
+	}
+	return rb
+}
+
+func safeRatio(n, d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return n / d
+}

@@ -1,0 +1,71 @@
+package benchjournal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// legacySEBench mirrors the pre-journal results/BENCH_SE.json schema
+// written by cmd/mvcom-bench.
+type legacySEBench struct {
+	GeneratedAt string `json:"generatedAt"`
+	GoVersion   string `json:"goVersion"`
+	Gomaxprocs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numCpu"`
+	Entries     []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"nsPerOp"`
+		BytesPerOp  float64 `json:"bytesPerOp"`
+		AllocsPerOp float64 `json:"allocsPerOp"`
+		Utility     float64 `json:"utility"`
+		Iterations  int     `json:"iterations"`
+	} `json:"entries"`
+}
+
+// PromoteSEBench lifts a legacy results/BENCH_SE.json into the journal
+// schema. Each legacy entry becomes a single-sample benchmark; the
+// utility rides along as a custom metric. GOOS/GOARCH were not recorded
+// in the legacy schema, so they are taken from the current process —
+// which is where the promotion runs, i.e. the machine that produced the
+// legacy file in the repo's workflow.
+func PromoteSEBench(path string) (*Journal, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var legacy legacySEBench
+	if err := json.Unmarshal(raw, &legacy); err != nil {
+		return nil, fmt.Errorf("benchjournal: parse legacy %s: %w", path, err)
+	}
+	if len(legacy.Entries) == 0 {
+		return nil, fmt.Errorf("benchjournal: legacy %s has no entries", path)
+	}
+	j := &Journal{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   legacy.GeneratedAt,
+		Note:          "promoted from " + path,
+		Env: Env{
+			GoVersion:  legacy.GoVersion,
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     legacy.NumCPU,
+			GOMAXPROCS: legacy.Gomaxprocs,
+		},
+	}
+	for _, e := range legacy.Entries {
+		s := Sample{
+			N:           1,
+			NsPerOp:     e.NsPerOp,
+			BytesPerOp:  e.BytesPerOp,
+			AllocsPerOp: e.AllocsPerOp,
+			Metrics: map[string]float64{
+				"utility":    e.Utility,
+				"iterations": float64(e.Iterations),
+			},
+		}
+		j.Benchmarks = append(j.Benchmarks, Summarize("Benchmark"+e.Name, []Sample{s}))
+	}
+	return j, nil
+}

@@ -1,0 +1,82 @@
+package benchjournal
+
+import "fmt"
+
+// SelfTest exercises the regression gate on synthetic journals with
+// known answers: an injected ~20% median slowdown must fail the gate, a
+// re-sample of the same distribution (pure noise) must pass, an
+// environment-fingerprint mismatch must degrade the time gate to a
+// warning, and an allocation increase must fail even across
+// environments. It returns nil when every case behaves; ci.sh runs it
+// before trusting the differ with real numbers.
+func SelfTest() error {
+	// Deterministic "noise": multipliers within ±3% of 1, the jitter a
+	// healthy CI runner shows across -count repetitions.
+	baseJitter := []float64{1.000, 0.985, 1.012, 0.991, 1.021}
+	resampleJitter := []float64{1.008, 0.979, 1.017, 1.002, 0.988}
+
+	mk := func(env Env, nsBase, allocBase float64, jitter []float64, slowdown float64) *Journal {
+		samples := make([]Sample, len(jitter))
+		for i, m := range jitter {
+			samples[i] = Sample{
+				N:           100,
+				NsPerOp:     nsBase * m * slowdown,
+				BytesPerOp:  4096,
+				AllocsPerOp: allocBase,
+			}
+		}
+		return &Journal{
+			SchemaVersion: SchemaVersion,
+			Env:           env,
+			Benchmarks:    []Benchmark{Summarize("BenchmarkSelfTest/I=200", samples)},
+		}
+	}
+
+	env := Env{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 8, GOMAXPROCS: 8}
+	otherEnv := env
+	otherEnv.NumCPU, otherEnv.GOMAXPROCS = 4, 4
+
+	baseline := mk(env, 1e6, 2300, baseJitter, 1.0)
+
+	// Case 1: 20% slowdown, same environment — must regress.
+	slow := mk(env, 1e6, 2300, resampleJitter, 1.20)
+	if _, regressed := Diff(baseline, slow, Options{}); !regressed {
+		return fmt.Errorf("benchjournal selftest: injected 20%% slowdown not caught")
+	}
+
+	// Case 2: pure re-sample noise — must pass.
+	noise := mk(env, 1e6, 2300, resampleJitter, 1.0)
+	if findings, regressed := Diff(baseline, noise, Options{}); regressed {
+		return fmt.Errorf("benchjournal selftest: noise-only re-sample flagged as regression: %v", findings)
+	}
+
+	// Case 3: identical journal diffed against itself — must pass.
+	if findings, regressed := Diff(baseline, baseline, Options{}); regressed {
+		return fmt.Errorf("benchjournal selftest: self-diff flagged as regression: %v", findings)
+	}
+
+	// Case 4: 20% slowdown across different environments — time gate
+	// degrades to a warning, the gate must not fail...
+	slowOther := mk(otherEnv, 1e6, 2300, resampleJitter, 1.20)
+	findings, regressed := Diff(baseline, slowOther, Options{})
+	if regressed {
+		return fmt.Errorf("benchjournal selftest: cross-environment slowdown hard-failed the gate")
+	}
+	sawWarn := false
+	for _, f := range findings {
+		if f.Metric == "ns/op" && f.Severity == SevWarning {
+			sawWarn = true
+		}
+	}
+	if !sawWarn {
+		return fmt.Errorf("benchjournal selftest: cross-environment slowdown produced no warning")
+	}
+
+	// ...but an allocation increase is gated hard even there.
+	allocOther := mk(otherEnv, 1e6, 2300*1.10, resampleJitter, 1.0)
+	if _, regressed := Diff(baseline, allocOther, Options{}); !regressed {
+		return fmt.Errorf("benchjournal selftest: cross-environment allocation growth not caught")
+	}
+
+	return nil
+}

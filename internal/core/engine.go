@@ -74,6 +74,21 @@ func (e *Engine) BestUtility() float64 {
 	return e.r.bestObserved()
 }
 
+// BestCardinality returns the solution-thread cardinality n of the best
+// solution observed so far (0 before any feasible solution exists). Like
+// BestUtility it reads the published snapshot, so it is safe from any
+// goroutine; the distributed runtime threads it through progress and
+// result reports.
+func (e *Engine) BestCardinality() int {
+	if e.trivial != nil {
+		return e.trivial.Count
+	}
+	if s := e.r.snap.Load(); s != nil {
+		return s.n
+	}
+	return 0
+}
+
 // Best returns the best feasible solution found so far.
 func (e *Engine) Best() (Solution, error) {
 	if e.trivial != nil {

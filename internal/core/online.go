@@ -174,6 +174,7 @@ func (r *run) applyJoin(ev Event) error {
 	// Re-offer the full selection under the grown candidate set.
 	r.offerFullIfFeasible()
 	r.publishBest()
+	r.rebindDiag(ev.AtIteration, "join", idx)
 	return nil
 }
 
@@ -211,7 +212,21 @@ func (r *run) applyLeave(ev Event) error {
 	r.invalidateBest()
 	r.offerFullIfFeasible()
 	r.publishBest()
+	r.rebindDiag(ev.AtIteration, "leave", ev.Index)
 	return nil
+}
+
+// rebindDiag re-attaches the convergence diagnostics after a dynamic
+// event: the event is marked (with the post-event best — the bottom of
+// a leave's dip), the d_TV state restarts against the new candidate
+// set, and every probe is rebuilt around the repaired threads.
+func (r *run) rebindDiag(round int, kind string, index int) {
+	if r.diag == nil {
+		return
+	}
+	r.diag.RecordEvent(round, kind, index, r.globalUtil(), r.global.have)
+	r.diag.Rebind(r.diagInfo())
+	r.attachProbes()
 }
 
 // invalidateBest drops the stored global and per-explorer bests (their

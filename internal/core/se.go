@@ -9,6 +9,7 @@ import (
 
 	"mvcom/internal/obs"
 	"mvcom/internal/randx"
+	"mvcom/internal/seobs"
 )
 
 // SEConfig tunes the Stochastic-Exploration algorithm (Alg. 1).
@@ -87,6 +88,14 @@ type SEConfig struct {
 	// segment merges, so the overhead with Obs attached stays within the
 	// ci.sh benchmark gate (≤ 3%); nil disables every hook.
 	Obs *obs.SEObserver
+	// Diag, when non-nil, receives convergence diagnostics: windowed
+	// per-thread utility series, swap-acceptance/RESET rates,
+	// time-to-ε-of-best, the empirical d_TV estimator on small
+	// instances, and the autocorrelation mixing proxy (see
+	// internal/seobs). Like Obs it is nil-is-off and flushed only at
+	// segment merges; the same ≤3% benchmark gate covers both. A Diag
+	// serves one run at a time — it is re-bound by each Solve.
+	Diag *seobs.Diag
 }
 
 func (c SEConfig) withDefaults() SEConfig {
@@ -202,6 +211,10 @@ type run struct {
 	rootRNG    *randx.RNG
 	workers    int
 	obs        *obs.SEObserver
+	diag       *seobs.Diag
+	// diagScratch is the reusable per-cardinality window buffer handed
+	// to Diag.Flush (which copies it).
+	diagScratch []seobs.ThreadPoint
 
 	// vals and sizes cache Value(i) and Sizes[i] per candidate position so
 	// the hot loop never chases the instance indirection; rebuilt on every
@@ -263,7 +276,61 @@ func newRun(in *Instance, cfg SEConfig) (*run, error) {
 	// it is evaluated once per solve here rather than once per explorer.
 	r.offerFullIfFeasible()
 	r.publishBest()
+	r.bindDiag()
 	return r, nil
+}
+
+// bindDiag attaches the configured convergence diagnostics to a fresh
+// run: binds the run description, installs per-explorer probes, and
+// seeds the improvement history with the initial best.
+func (r *run) bindDiag() {
+	if r.cfg.Diag == nil {
+		return
+	}
+	r.diag = r.cfg.Diag
+	r.diag.Bind(r.diagInfo())
+	r.attachProbes()
+	if r.global.have {
+		r.diag.RecordImprovement(0, r.global.util)
+	}
+}
+
+// diagInfo describes the live candidate set for the diagnostics; the
+// slices are copied because dynamic events rebuild the run's caches.
+func (r *run) diagInfo() seobs.RunInfo {
+	return seobs.RunInfo{
+		K:        len(r.candidates),
+		Gamma:    len(r.explorers),
+		Beta:     r.cfg.Beta,
+		BetaEff:  r.betaEff,
+		Capacity: r.in.Capacity,
+		Nmin:     r.in.Nmin,
+		Sizes:    append([]int(nil), r.sizes...),
+		Values:   append([]float64(nil), r.vals...),
+		Cards:    threadCardinalities(len(r.candidates), r.cfg.MaxThreads),
+	}
+}
+
+// attachProbes (re)creates every explorer's probe against the diag's
+// current binding, seeding the incremental selection masks. Runs at
+// construction and after dynamic events, never during a segment.
+func (r *run) attachProbes() {
+	for g, ex := range r.explorers {
+		p := r.diag.NewProbe(g, len(ex.threads))
+		ex.probe = p
+		if !p.TracksVisits() {
+			continue
+		}
+		for i, th := range ex.threads {
+			var mask uint64
+			for pos, on := range th.selected {
+				if on {
+					mask |= 1 << uint(pos)
+				}
+			}
+			p.SetThread(i, mask, th.active)
+		}
+	}
 }
 
 // rateNormalization rescales the normalized temperature so that a typical
@@ -358,6 +425,7 @@ func (r *run) loop(ev *eventCursor) []TracePoint {
 	}
 	r.iterations = iter
 	trace = append(trace, TracePoint{Iteration: iter, Utility: r.globalUtil()})
+	r.diag.Finalize()
 	return trace
 }
 
@@ -425,6 +493,9 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 					if r.obs != nil {
 						r.obs.Trace.Emit(obs.EvSwapAccept, "se", e.util, "")
 					}
+					if r.diag != nil {
+						r.diag.RecordImprovement(round, e.util)
+					}
 				}
 			}
 		}
@@ -445,26 +516,33 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 		ex.events = ex.events[:0]
 	}
 	r.publishBest()
-	if r.obs != nil {
-		r.flushObs(a, b, adopted)
+	if r.obs != nil || r.diag != nil {
+		// Collect the per-explorer tallies once for both consumers; the
+		// explorers are quiescent between segments.
+		var swaps, resets int64
+		for _, ex := range r.explorers {
+			swaps += ex.statSwaps
+			resets += ex.statResets
+			ex.statSwaps, ex.statResets = 0, 0
+		}
+		if r.obs != nil {
+			r.flushObs(a, b, adopted, swaps, resets)
+		}
+		if r.diag != nil {
+			r.flushDiag(a, b, swaps, resets)
+		}
 	}
 	return stopRound, stopped, anyImproved
 }
 
-// flushObs folds the segment's per-explorer tallies into the attached
-// observer. Runs single-threaded between segments, so the atomic
-// instruments are touched once per segment, never in the round loop.
-func (r *run) flushObs(a, b int, adopted int64) {
+// flushObs folds the segment's tallies into the attached observer. Runs
+// single-threaded between segments, so the atomic instruments are
+// touched once per segment, never in the round loop.
+func (r *run) flushObs(a, b int, adopted, swaps, resets int64) {
 	o := r.obs
 	rounds := int64(b - a)
 	o.Rounds.Add(rounds)
 	o.ExplorerRounds.Add(rounds * int64(len(r.explorers)))
-	var swaps, resets int64
-	for _, ex := range r.explorers {
-		swaps += ex.statSwaps
-		resets += ex.statResets
-		ex.statSwaps, ex.statResets = 0, 0
-	}
 	o.Swaps.Add(swaps)
 	o.Resets.Add(resets)
 	o.Merges.Inc()
@@ -476,6 +554,39 @@ func (r *run) flushObs(a, b int, adopted int64) {
 		o.Trace.Emit(obs.EvReset, "se", float64(resets), "")
 	}
 	o.Trace.Emit(obs.EvSegmentMerge, "se", best, "")
+}
+
+// flushDiag hands the segment to the convergence diagnostics: drains
+// the probes and records one window carrying the per-cardinality best
+// utilities across explorers (the f_n time-series sample). Runs
+// single-threaded between segments.
+func (r *run) flushDiag(a, b int, swaps, resets int64) {
+	pts := r.diagScratch[:0]
+	if len(r.explorers) > 0 {
+		// Explorers share one thread layout (same cardinality list in the
+		// same order), so index i is cardinality-aligned across them.
+		base := r.explorers[0].threads
+		for i, th := range base {
+			best, have := math.Inf(-1), false
+			for _, ex := range r.explorers {
+				if i < len(ex.threads) && ex.threads[i].active {
+					if u := ex.threads[i].util; !have || u > best {
+						best, have = u, true
+					}
+				}
+			}
+			if have {
+				pts = append(pts, seobs.ThreadPoint{N: th.n, Utility: best})
+			}
+		}
+	}
+	r.diagScratch = pts
+	r.diag.Flush(seobs.FlushArgs{
+		From: a, To: b,
+		Swaps: swaps, Resets: resets,
+		BestUtility: r.globalUtil(), HaveBest: r.global.have,
+		Threads: pts,
+	})
 }
 
 // adoptLocal folds one explorer's local best into the global tracker;
@@ -560,8 +671,9 @@ type improvement struct {
 // everything it mutates (threads, RNG, local best, event log, scratch)
 // lives here, never on the run.
 type explorer struct {
-	run *run
-	rng *randx.RNG
+	run   *run
+	rng   *randx.RNG
+	probe *seobs.Probe
 
 	threads []*thread
 	// logRates and weights are scratch space for the per-round timer race.
@@ -823,12 +935,24 @@ func (ex *explorer) stepRound(round int) {
 	th := ex.threads[winner]
 	th.applySwap(ex.run)
 	ex.statSwaps++
+	if ex.probe != nil {
+		ex.probe.RecordSwap(winner, th.out, th.in, th.util)
+	}
 	ex.offer(th, round)
 	ex.rearm()
 }
 
-// stepBatch advances the explorer through rounds (a, b].
+// stepBatch advances the explorer through rounds (a, b]. When the d_TV
+// estimator is live the loop records one dwell sample per thread per
+// round; otherwise it is the plain hot loop.
 func (ex *explorer) stepBatch(a, b int) {
+	if p := ex.probe; p.TracksVisits() {
+		for round := a + 1; round <= b; round++ {
+			ex.stepRound(round)
+			p.RecordRound()
+		}
+		return
+	}
 	for round := a + 1; round <= b; round++ {
 		ex.stepRound(round)
 	}

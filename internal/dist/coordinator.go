@@ -672,10 +672,11 @@ func (co *Coordinator) noteProgress(p Progress) bool {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if p.Feasible && (!co.haveBest || p.Utility > co.best.Utility) {
-		co.best = Result{WorkerID: p.WorkerID, Utility: p.Utility, Iterations: p.Iterations}
+		co.best = Result{WorkerID: p.WorkerID, Utility: p.Utility, Iterations: p.Iterations, BestN: p.BestN}
 		co.haveBest = true
 		co.improves = 0
 		co.cfg.Obs.SetBestUtility(p.Utility)
+		co.cfg.Obs.SetBestThreadN(p.BestN)
 		return false
 	}
 	co.improves++

@@ -129,6 +129,11 @@ func TestSessionPopulatesObservers(t *testing.T) {
 	if coObs.BestUtility.Value() <= 0 {
 		t.Fatalf("best utility gauge = %v", coObs.BestUtility.Value())
 	}
+	// The workers thread their winning cardinality through progress
+	// reports; the coordinator exports the best one.
+	if n := coObs.BestThreadN.Value(); n < 1 || n > float64(in.NumShards()) {
+		t.Fatalf("best thread-n gauge = %v, want within 1..%d", n, in.NumShards())
+	}
 
 	// Both directions of the wire must be counted for both roles: the
 	// coordinator sent 2 tasks, the workers each sent a hello and a

@@ -134,6 +134,11 @@ type Progress struct {
 	Iterations int     `json:"iterations"`
 	Utility    float64 `json:"utility"`
 	Feasible   bool    `json:"feasible"`
+	// BestN is the solution-thread cardinality n of the reported best (0
+	// before any feasible solution); the coordinator exports it so the
+	// convergence diagnostics can tell *which* thread f_n is winning
+	// across the fleet.
+	BestN int `json:"bestN,omitempty"`
 }
 
 // EventMsg mirrors core.Event on the wire.
@@ -180,7 +185,10 @@ type Result struct {
 	Utility    float64 `json:"utility"`
 	Selected   []bool  `json:"selected"`
 	Iterations int     `json:"iterations"`
-	Err        string  `json:"err,omitempty"`
+	// BestN is the cardinality of the winning solution thread (0 when the
+	// result carries no feasible solution).
+	BestN int    `json:"bestN,omitempty"`
+	Err   string `json:"err,omitempty"`
 }
 
 // codec frames envelopes over a connection. The optional obs sink counts

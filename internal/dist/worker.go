@@ -342,6 +342,7 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 				Iterations: engine.Iterations(),
 				Utility:    engine.BestUtility(),
 				Feasible:   bErr == nil,
+				BestN:      engine.BestCardinality(),
 			}); err != nil {
 				res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
 				return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: report progress: %w", taskRef(task), err)}
@@ -401,6 +402,7 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 	} else {
 		res.Utility = sol.Utility
 		res.Selected = sol.Selected
+		res.BestN = sol.Count
 	}
 	if res.Err != "" {
 		w.Obs.TaskFailed(w.ID, res.Err)

@@ -7,18 +7,67 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 )
 
 // NewMux builds the observability HTTP handler for a registry:
 //
-//	/metrics       Prometheus text exposition
-//	/metrics.json  the same instruments as one JSON document
-//	/trace         recent structured trace events (JSON, oldest first)
-//	/debug/vars    expvar (Go runtime memstats, cmdline)
-//	/debug/pprof/  CPU, heap, goroutine, ... profiles
+//	/                   index page linking every endpoint below
+//	/healthz            liveness probe ({"status":"ok"})
+//	/metrics            Prometheus text exposition
+//	/metrics.json       the same instruments as one JSON document
+//	/trace              recent structured trace events (JSON, oldest first)
+//	/debug/convergence  SE convergence diagnostics (registered provider)
+//	/debug/vars         expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/       CPU, heap, goroutine, ... profiles
+//
+// Debug pages under /debug/<name> resolve their provider on every fetch
+// (Registry.RegisterDebug), so a page registered after Serve started —
+// the convergence diagnostics attach when an SE run begins — is served
+// without restarting the endpoint.
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><head><title>mvcom observability</title></head><body>\n")
+		fmt.Fprint(w, "<h1>mvcom observability</h1>\n<ul>\n")
+		links := []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/debug/convergence", "/debug/vars", "/debug/pprof/"}
+		seen := map[string]bool{}
+		for _, l := range links {
+			seen[l] = true
+		}
+		for _, name := range reg.DebugNames() {
+			if l := "/debug/" + name; !seen[l] {
+				links = append(links, l)
+			}
+		}
+		for _, l := range links {
+			fmt.Fprintf(w, "<li><a href=%q>%s</a></li>\n", l, l)
+		}
+		fmt.Fprint(w, "</ul>\n</body></html>\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok"}`+"\n")
+	})
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/debug/")
+		fn := reg.DebugProvider(name)
+		if fn == nil {
+			http.Error(w, "no debug provider registered under "+strconv.Quote(name), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fn())
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)

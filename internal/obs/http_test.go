@@ -81,6 +81,101 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+func TestServeIndexHealthAndDebugProviders(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, index := get("/")
+	if code != http.StatusOK {
+		t.Fatalf("/ status %d", code)
+	}
+	for _, link := range []string{"/healthz", "/metrics", "/trace", "/debug/convergence", "/debug/pprof/"} {
+		if !strings.Contains(index, link) {
+			t.Fatalf("index page missing link %s:\n%s", link, index)
+		}
+	}
+	if code, _ := get("/no-such-page"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+
+	code, health := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var hdoc struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(health), &hdoc); err != nil || hdoc.Status != "ok" {
+		t.Fatalf("/healthz body %q (err %v)", health, err)
+	}
+
+	// Before any run registers diagnostics the page 404s; registration
+	// after Serve must take effect without a restart.
+	if code, _ := get("/debug/convergence"); code != http.StatusNotFound {
+		t.Fatalf("/debug/convergence before registration: status %d, want 404", code)
+	}
+	reg.RegisterDebug("convergence", func() any {
+		return map[string]any{"rounds": 42}
+	})
+	code, conv := get("/debug/convergence")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/convergence status %d", code)
+	}
+	var cdoc struct {
+		Rounds int `json:"rounds"`
+	}
+	if err := json.Unmarshal([]byte(conv), &cdoc); err != nil || cdoc.Rounds != 42 {
+		t.Fatalf("/debug/convergence body %q (err %v)", conv, err)
+	}
+
+	// Extra providers appear both at /debug/<name> and on the index.
+	reg.RegisterDebug("extra", func() any { return []int{1, 2, 3} })
+	if code, body := get("/debug/extra"); code != http.StatusOK || !strings.Contains(body, "1") {
+		t.Fatalf("/debug/extra status %d body %q", code, body)
+	}
+	if _, index := get("/"); !strings.Contains(index, "/debug/extra") {
+		t.Fatal("index page missing dynamically registered /debug/extra link")
+	}
+}
+
+func TestRegistryWithTraceCapacity(t *testing.T) {
+	reg := NewRegistryWithTrace(16)
+	for i := 0; i < 40; i++ {
+		reg.Tracer().Emit(EvSERound, "se", float64(i), "")
+	}
+	events, dropped := reg.Tracer().Snapshot()
+	if len(events) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(events))
+	}
+	if dropped != 24 {
+		t.Fatalf("dropped = %d, want 24", dropped)
+	}
+	// Nil registry: every accessor stays inert.
+	var nilReg *Registry
+	nilReg.RegisterDebug("x", func() any { return nil })
+	if nilReg.DebugProvider("x") != nil || nilReg.DebugNames() != nil {
+		t.Fatal("nil registry must have no debug providers")
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("127.0.0.1:-1", NewRegistry()); err == nil {
 		t.Fatal("expected listen error for invalid address")

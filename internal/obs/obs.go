@@ -181,6 +181,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	debug    map[string]func() any
 	tracer   *Tracer
 }
 
@@ -189,11 +190,19 @@ const DefaultTraceCapacity = 4096
 
 // NewRegistry returns an empty registry with a bounded tracer attached.
 func NewRegistry() *Registry {
+	return NewRegistryWithTrace(DefaultTraceCapacity)
+}
+
+// NewRegistryWithTrace returns an empty registry whose tracer ring holds
+// up to capacity events (the -trace-buf knob of the CLIs; NewTracer
+// clamps to a minimum of 16).
+func NewRegistryWithTrace(capacity int) *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
-		tracer:   NewTracer(DefaultTraceCapacity),
+		debug:    make(map[string]func() any),
+		tracer:   NewTracer(capacity),
 	}
 }
 
@@ -254,6 +263,43 @@ func (r *Registry) Tracer() *Tracer {
 		return nil
 	}
 	return r.tracer
+}
+
+// RegisterDebug registers a named JSON debug provider: fn's return value
+// is encoded at /debug/<name> on the observability endpoint each time the
+// page is fetched. Re-registering a name replaces the provider (a fresh
+// SE run takes over the "convergence" page from the previous one). No-op
+// on a nil registry.
+func (r *Registry) RegisterDebug(name string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.debug == nil {
+		r.debug = make(map[string]func() any)
+	}
+	r.debug[name] = fn
+}
+
+// DebugProvider returns the provider registered under name, or nil.
+func (r *Registry) DebugProvider(name string) func() any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.debug[name]
+}
+
+// DebugNames lists the registered debug providers in sorted order.
+func (r *Registry) DebugNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return sortedKeys(r.debug)
 }
 
 // sortedKeys snapshots a map's keys in sorted order.

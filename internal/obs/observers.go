@@ -67,6 +67,9 @@ type DistObserver struct {
 	TaskErrors *Counter
 	// BestUtility tracks the session's best reported utility.
 	BestUtility *Gauge
+	// BestThreadN tracks the solution-thread cardinality n of the best
+	// reported solution — which thread f_n is winning across the fleet.
+	BestThreadN *Gauge
 	// FaultsInjected counts fault-injection decisions that fired at any
 	// of this role's fault points.
 	FaultsInjected *Counter
@@ -103,6 +106,7 @@ func NewDistObserver(reg *Registry, role string) *DistObserver {
 		TaskLatency:      reg.Histogram("mvcom_dist_task_seconds", "task dispatch to final result, seconds", ExponentialBuckets(0.01, 2, 14)),
 		TaskErrors:       reg.Counter("mvcom_dist_task_errors_total", "worker tasks that ended in an error"),
 		BestUtility:      reg.Gauge("mvcom_dist_best_utility", "best utility reported in the session"),
+		BestThreadN:      reg.Gauge("mvcom_dist_best_thread_n", "solution-thread cardinality of the session's best solution"),
 		FaultsInjected:   reg.Counter("mvcom_dist_faults_injected_total{role=\""+role+"\"}", "injected faults fired at this role's fault points"),
 		Reconnects:       reg.Counter("mvcom_dist_reconnects_total", "worker sessions re-dialed after a lost connection"),
 		TasksReassigned:  reg.Counter("mvcom_dist_tasks_reassigned_total", "orphaned tasks re-dispatched to another worker"),
@@ -196,6 +200,15 @@ func (o *DistObserver) SetBestUtility(u float64) {
 		return
 	}
 	o.BestUtility.Set(u)
+}
+
+// SetBestThreadN records the cardinality of the session's best solution.
+// No-op on a nil observer.
+func (o *DistObserver) SetBestThreadN(n int) {
+	if o == nil {
+		return
+	}
+	o.BestThreadN.Set(float64(n))
 }
 
 // SetQueueDepth records the worker's pending control-queue depth. No-op

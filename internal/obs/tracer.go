@@ -45,6 +45,10 @@ const (
 	// reconnect, a task reassignment, or a local-solve fallback
 	// (Detail = kind, Actor = worker/task, Value = attempt).
 	EvDistRetry
+	// EvConvergence marks a convergence-diagnostics emission from the SE
+	// kernel: a window sample or the end-of-run summary (Detail = kind,
+	// Value = headline number: best utility or d_TV estimate).
+	EvConvergence
 )
 
 // String names the event type for exposition.
@@ -76,6 +80,8 @@ func (t EventType) String() string {
 		return "dist_fault"
 	case EvDistRetry:
 		return "dist_retry"
+	case EvConvergence:
+		return "se_convergence"
 	default:
 		return "unknown"
 	}
@@ -93,7 +99,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for c := EvSERound; c <= EvDistRetry; c++ {
+	for c := EvSERound; c <= EvConvergence; c++ {
 		if c.String() == name {
 			*t = c
 			return nil
