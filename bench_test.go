@@ -319,6 +319,57 @@ func BenchmarkSESolveSize(b *testing.B) {
 	}
 }
 
+// BenchmarkSEWarmStart measures the serving loop's warm-start payoff on
+// overlapping consecutive epochs: epoch 1 is solved once outside the
+// timer; each iteration then solves epoch 2 either cold or seeded from
+// epoch 1's solution (SE.SolveFrom). Besides time/op the benchmark
+// reports rounds_to_eps — the rounds until the best utility entered the
+// ε-band of its final value — which is the metric the soak journal
+// gates: warm must reach the band in fewer rounds than cold.
+func BenchmarkSEWarmStart(b *testing.B) {
+	in1 := benchInstance(b, 60)
+	prev, _, err := core.NewSE(core.SEConfig{Seed: 2, Gamma: 4, MaxIters: 8000}).Solve(in1.Clone())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The next epoch: jittered latencies, two departed shards.
+	in2 := in1.Clone()
+	for i := range in2.Latencies {
+		in2.Latencies[i] *= 0.96 + 0.08*float64((i*37)%100)/100
+		if in2.Latencies[i] > in2.DDL {
+			in2.Latencies[i] = in2.DDL
+		}
+	}
+	in2.Latencies[4] = in2.DDL + 1
+	in2.Latencies[17] = in2.DDL + 1
+
+	base := core.SEConfig{Seed: 9, Gamma: 4, MaxIters: 6000, ConvergenceWindow: 6000}
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			rounds := 0.0
+			for i := 0; i < b.N; i++ {
+				diag := seobs.New(seobs.Config{})
+				cfg := base
+				cfg.Diag = diag
+				cfg.WarmStart = mode == "warm"
+				se := core.NewSE(cfg)
+				var err error
+				if cfg.WarmStart {
+					_, _, err = se.SolveFrom(in2.Clone(), prev)
+				} else {
+					_, _, err = se.Solve(in2.Clone())
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += float64(diag.Snapshot().TimeToEpsRounds)
+			}
+			b.ReportMetric(rounds/float64(b.N), "rounds_to_eps")
+		})
+	}
+}
+
 func sizeName(n int) string {
 	switch n {
 	case 50:

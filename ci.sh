@@ -81,3 +81,18 @@ go run ./cmd/mvcom-benchdiff -ingest results/bench_journal_raw.txt \
 # warnings regardless.
 go run ./cmd/mvcom-benchdiff -old BENCH_MVCOM.json -new results/BENCH_MVCOM.json \
 	-time-threshold 0.35
+
+# Soak smoke (DESIGN.md §5f): 50 epochs of the warm-start serving loop
+# under committee fault injection. mvcom-soak exits nonzero on its own
+# process-health gates — any goroutine above the pre-serve baseline, a
+# post-GC heap that trends upward across sample windows, or a warm-start
+# request that never fires — so a leak in the serve loop fails the build
+# here even before the journal diff. The steady-state epoch latency is
+# then diffed against the committed baseline with the same widened
+# wall-time threshold as above (cross-fingerprint runs degrade the time
+# finding to a warning; the health gates always bite).
+go run ./cmd/mvcom-soak -epochs 50 -se-iters 800 \
+	-fault-spec 'epoch.committee:prob=0.2' \
+	-journal results/BENCH_SOAK.json -note "ci soak smoke"
+go run ./cmd/mvcom-benchdiff -old BENCH_SOAK.json -new results/BENCH_SOAK.json \
+	-time-threshold 0.35

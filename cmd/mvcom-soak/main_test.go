@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mvcom/internal/benchjournal"
+)
+
+func TestRunSmoke(t *testing.T) {
+	args := []string{"-committees", "6", "-committee-size", "4", "-epochs", "20",
+		"-se-iters", "400", "-sample-every", "4", "-q"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultsAndJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "BENCH_SOAK.json")
+	args := []string{"-committees", "6", "-committee-size", "4", "-epochs", "20",
+		"-se-iters", "400", "-sample-every", "4", "-q",
+		"-fault-spec", "epoch.committee:prob=0.2",
+		"-journal", journal, "-note", "test"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	j, err := benchjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := j.Find("Soak/epoch")
+	if b == nil {
+		t.Fatal("journal lacks the Soak/epoch benchmark")
+	}
+	if b.NsPerOp.Median <= 0 || b.NsPerOp.Count < 2 {
+		t.Fatalf("steady-state latency summary %+v", b.NsPerOp)
+	}
+	if _, ok := b.Metrics["heap-bytes"]; !ok {
+		t.Fatalf("journal metrics %v lack heap-bytes", b.Metrics)
+	}
+}
+
+func TestRunColdComparison(t *testing.T) {
+	args := []string{"-committees", "6", "-committee-size", "4", "-epochs", "12",
+		"-se-iters", "400", "-sample-every", "4", "-warm=false", "-q"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run([]string{"-epochs", "0"}); err == nil {
+		t.Fatal("no budget accepted")
+	}
+	if err := run([]string{"-capacity-frac", "0"}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if err := run([]string{"-fault-spec", "epoch.committee:nope=1"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}

@@ -2,7 +2,10 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
+
+	"mvcom/internal/seobs"
 )
 
 func onlineInstance(seed int64, n int) Instance {
@@ -130,6 +133,141 @@ func TestSolveOnlineLeaveThenRejoin(t *testing.T) {
 	}
 	if math.IsInf(preMax, -1) {
 		t.Fatal("no trace points before the leave event")
+	}
+}
+
+// TestEngineLeaveRejoinBestInvariant is the invariant behind
+// invalidateBest: from the instant a shard leaves until it rejoins, the
+// published global best must never reference it — not in any Best()
+// snapshot taken between stepping windows — while concurrent readers
+// poll the atomically published best from another goroutine (this test
+// is a -race probe of the publish path). The rebind trail must show the
+// leave and the rejoin in order.
+func TestEngineLeaveRejoinBestInvariant(t *testing.T) {
+	in := onlineInstance(21, 16)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Depart the largest shard: the one most likely pinned inside the
+	// pre-event best, so the invalidation path actually fires.
+	target := 0
+	for i, s := range in.Sizes {
+		if s > in.Sizes[target] {
+			target = i
+		}
+	}
+	size, latency := in.Sizes[target], in.Latencies[target]
+
+	diag := seobs.New(seobs.Config{})
+	eng, err := NewEngine(in.Clone(), SEConfig{Seed: 21, Gamma: 3, MaxIters: 4000, Diag: diag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Converged() {
+		t.Fatal("instance too easy: engine born converged")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // hammer the lock-free best snapshot while the chain runs
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = eng.BestUtility()
+				_ = eng.BestCardinality()
+			}
+		}
+	}()
+
+	eng.StepN(300)
+	if err := eng.ApplyEvent(Event{AtIteration: 300, Kind: EventLeave, Index: target}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		eng.StepN(25)
+		sol, err := eng.Best()
+		if err != nil {
+			continue // no feasible best yet after the trim
+		}
+		if sol.Selected[target] {
+			t.Fatalf("global best references shard %d while departed (window %d)", target, i)
+		}
+	}
+	if err := eng.ApplyEvent(Event{AtIteration: 800, Kind: EventJoin, Index: target,
+		Size: size, Latency: latency}); err != nil {
+		t.Fatal(err)
+	}
+	eng.StepN(600)
+	close(stop)
+	wg.Wait()
+
+	sol, err := eng.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 16 {
+		t.Fatalf("selection length %d after rejoin, want 16", len(sol.Selected))
+	}
+	final := eng.Instance()
+	if !final.Feasible(sol.Selected) {
+		t.Fatal("infeasible best after leave→rejoin")
+	}
+
+	snap := diag.Snapshot()
+	if len(snap.Events) != 2 || snap.Events[0].Kind != "leave" || snap.Events[1].Kind != "join" {
+		t.Fatalf("rebind trail %+v, want leave then join", snap.Events)
+	}
+	if snap.Events[0].Index != target || snap.Events[1].Index != target {
+		t.Fatalf("rebind trail indexes %+v, want shard %d twice", snap.Events, target)
+	}
+	if snap.WarmStarts != 0 {
+		t.Fatalf("online events miscounted as warm starts: %d", snap.WarmStarts)
+	}
+}
+
+// TestEngineLeaveRejoinTwice cycles the same shard out and back twice:
+// the rejoin path refreshes the departed shard's features in place, so
+// the instance must not grow and the second cycle must behave like the
+// first.
+func TestEngineLeaveRejoinTwice(t *testing.T) {
+	in := onlineInstance(22, 12)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(in.Clone(), SEConfig{Seed: 22, Gamma: 2, MaxIters: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 5
+	for cycle := 0; cycle < 2; cycle++ {
+		eng.StepN(150)
+		if err := eng.ApplyEvent(Event{Kind: EventLeave, Index: target}); err != nil {
+			t.Fatalf("cycle %d leave: %v", cycle, err)
+		}
+		eng.StepN(150)
+		if sol, err := eng.Best(); err == nil && sol.Selected[target] {
+			t.Fatalf("cycle %d: departed shard in best", cycle)
+		}
+		if err := eng.ApplyEvent(Event{Kind: EventJoin, Index: target,
+			Size: in.Sizes[target], Latency: in.Latencies[target]}); err != nil {
+			t.Fatalf("cycle %d rejoin: %v", cycle, err)
+		}
+	}
+	eng.StepN(300)
+	sol, err := eng.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) != 12 {
+		t.Fatalf("instance grew across rejoin cycles: %d shards", len(sol.Selected))
+	}
+	final := eng.Instance()
+	if !final.Feasible(sol.Selected) {
+		t.Fatal("infeasible best after two leave→rejoin cycles")
 	}
 }
 

@@ -79,6 +79,16 @@ type SEConfig struct {
 	// smooth in n, so the lattice loses at most a few shards of
 	// granularity). Default 64.
 	MaxThreads int
+	// WarmStart lets SolveFrom seed every explorer's solution threads
+	// from a previous epoch's selection projected onto the surviving
+	// candidate set (departed shards are trimmed exactly as a leave event
+	// trims the state space). Warm starting only changes the chain's
+	// initial state, never its transition rates, so the stationary
+	// distribution — and therefore the quality of the converged answer —
+	// is untouched; consecutive epochs with overlapping candidate sets
+	// just reach it in fewer rounds. When false, SolveFrom ignores the
+	// previous solution and behaves exactly like Solve.
+	WarmStart bool
 	// Seed drives all randomness. Explorers split independent streams
 	// from it.
 	Seed int64

@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"mvcom/internal/baseline"
+	"mvcom/internal/core"
+	"mvcom/internal/experiments"
+	"mvcom/internal/seobs"
+)
+
+// TestSolveFromColdIdentical pins the fallback contract: with WarmStart
+// unset SolveFrom must ignore the previous solution entirely, and with
+// WarmStart set but no usable previous selection it must degrade to a
+// cold start — in both cases the run consumes the same RNG stream as
+// Solve and is bit-identical to it.
+func TestSolveFromColdIdentical(t *testing.T) {
+	cfg := core.SEConfig{Seed: 5, Gamma: 3, MaxIters: 4000}
+	in := smallDiagInstance()
+	cold, coldTrace, err := core.NewSE(cfg).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, sol core.Solution, trace []core.TracePoint) {
+		t.Helper()
+		if sol.Utility != cold.Utility || sol.Load != cold.Load || sol.Count != cold.Count {
+			t.Fatalf("%s diverged from cold solve: %+v vs %+v", name, sol, cold)
+		}
+		for i := range cold.Selected {
+			if sol.Selected[i] != cold.Selected[i] {
+				t.Fatalf("%s selection differs from cold solve at shard %d", name, i)
+			}
+		}
+		if len(trace) != len(coldTrace) {
+			t.Fatalf("%s trace length %d != cold %d", name, len(trace), len(coldTrace))
+		}
+		for i := range trace {
+			if trace[i] != coldTrace[i] {
+				t.Fatalf("%s trace[%d] = %+v != cold %+v", name, i, trace[i], coldTrace[i])
+			}
+		}
+	}
+
+	off, offTrace, err := core.NewSE(cfg).SolveFrom(smallDiagInstance(), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("WarmStart=false", off, offTrace)
+
+	warmCfg := cfg
+	warmCfg.WarmStart = true
+	empty, emptyTrace, err := core.NewSE(warmCfg).SolveFrom(smallDiagInstance(), core.Solution{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("empty prev", empty, emptyTrace)
+}
+
+// TestWarmStartStationaryDTV is the stationarity regression for the
+// tentpole: warm starting only moves the chain's initial state, so a
+// warm-seeded run must converge to the same Gibbs target as a cold one —
+// same d_TV acceptance gate, same mode, same brute-force optimum — and
+// the seed must be visible as exactly one warm-start event mark.
+func TestWarmStartStationaryDTV(t *testing.T) {
+	prev, _, err := core.NewSE(core.SEConfig{Seed: 3, Gamma: 2, MaxIters: 6000}).Solve(smallDiagInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diag := seobs.New(seobs.Config{})
+	cfg := core.SEConfig{
+		Seed:              7,
+		Gamma:             4,
+		MaxIters:          30000,
+		ConvergenceWindow: 30000, // sample the stationary regime, no early stop
+		WarmStart:         true,
+		Diag:              diag,
+	}
+	sol, _, err := core.NewSE(cfg).SolveFrom(smallDiagInstance(), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := diag.Snapshot()
+	if snap.WarmStarts != 1 || len(snap.Events) != 1 || snap.Events[0].Kind != seobs.EventWarmStart {
+		t.Fatalf("expected exactly one warm-start event mark, got %+v", snap.Events)
+	}
+	if snap.DTV == nil || !snap.DTV.Enabled || snap.DTV.Samples == 0 {
+		t.Fatal("d_TV estimator not live on the warm-started run")
+	}
+	t.Logf("warm-started d_TV %.4f over %d states, %d samples (best %.1f)",
+		snap.DTV.Estimate, snap.DTV.States, snap.DTV.Samples, sol.Utility)
+	if snap.DTV.Estimate >= 0.1 {
+		t.Fatalf("warm-started d_TV %.4f, want < 0.1 (same gate as the cold acceptance run)", snap.DTV.Estimate)
+	}
+
+	in := smallDiagInstance()
+	bsol, _, err := baseline.BruteForce{}.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bfMask uint64
+	for i, on := range bsol.Selected {
+		if on {
+			bfMask |= 1 << uint(i)
+		}
+	}
+	if snap.DTV.ModeMask != bfMask {
+		t.Fatalf("warm-started Gibbs mode %#x != brute-force optimum %#x", snap.DTV.ModeMask, bfMask)
+	}
+	if math.Abs(sol.Utility-bsol.Utility) > 1e-9 {
+		t.Fatalf("warm-started solution %v != brute-force optimum %v", sol.Utility, bsol.Utility)
+	}
+}
+
+// overlappingEpoch derives the "next epoch" of an instance: most shards
+// survive with slightly jittered latencies, a few depart (straggler
+// latency beyond the deadline), mirroring the heavy candidate overlap of
+// consecutive epochs the warm start is designed for.
+func overlappingEpoch(in core.Instance, departed ...int) core.Instance {
+	next := in.Clone()
+	for i := range next.Latencies {
+		jitter := 0.96 + 0.08*float64((i*37)%100)/100
+		next.Latencies[i] *= jitter
+		if next.Latencies[i] > next.DDL {
+			next.Latencies[i] = next.DDL
+		}
+	}
+	for _, i := range departed {
+		next.Latencies[i] = next.DDL + 1
+	}
+	return next
+}
+
+// TestWarmStartFasterTimeToEps is the acceptance check behind the
+// warm-start benchmark: on overlapping consecutive epochs the warm-seeded
+// run must enter the ε-band of its final best strictly earlier than the
+// cold run, with no loss of solution quality.
+func TestWarmStartFasterTimeToEps(t *testing.T) {
+	in1, err := experiments.PaperInstance(1, 60, 60*800, 1.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _, err := core.NewSE(core.SEConfig{Seed: 2, Gamma: 4, MaxIters: 8000}).Solve(in1.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := overlappingEpoch(in1, 4, 17)
+
+	base := core.SEConfig{
+		Seed:              9,
+		Gamma:             4,
+		MaxIters:          6000,
+		ConvergenceWindow: 6000, // fixed budget so both runs measure the same horizon
+	}
+
+	coldDiag := seobs.New(seobs.Config{})
+	coldCfg := base
+	coldCfg.Diag = coldDiag
+	coldSol, _, err := core.NewSE(coldCfg).Solve(in2.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSnap := coldDiag.Snapshot()
+
+	warmDiag := seobs.New(seobs.Config{})
+	warmCfg := base
+	warmCfg.WarmStart = true
+	warmCfg.Diag = warmDiag
+	warmSol, _, err := core.NewSE(warmCfg).SolveFrom(in2.Clone(), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSnap := warmDiag.Snapshot()
+
+	t.Logf("time-to-eps: cold %d rounds, warm %d rounds (utility cold %.1f, warm %.1f)",
+		coldSnap.TimeToEpsRounds, warmSnap.TimeToEpsRounds, coldSol.Utility, warmSol.Utility)
+	if warmSnap.TimeToEpsRounds < 0 || coldSnap.TimeToEpsRounds < 0 {
+		t.Fatal("time-to-eps unset")
+	}
+	if warmSnap.TimeToEpsRounds >= coldSnap.TimeToEpsRounds {
+		t.Fatalf("warm start did not reach the ε-band earlier: warm %d >= cold %d",
+			warmSnap.TimeToEpsRounds, coldSnap.TimeToEpsRounds)
+	}
+	if warmSol.Utility < coldSol.Utility*0.99 {
+		t.Fatalf("warm start lost quality: %v vs cold %v", warmSol.Utility, coldSol.Utility)
+	}
+	if warmSnap.WarmStarts != 1 {
+		t.Fatalf("warm snapshot counts %d warm starts, want 1", warmSnap.WarmStarts)
+	}
+}
+
+// TestWarmStartProjectionTrims exercises the projection edge cases: the
+// previous selection references departed shards (trimmed like a leave)
+// and exceeds a tightened capacity (lowest-value survivors dropped). The
+// seeded run must stay feasible and never resurrect a departed shard.
+func TestWarmStartProjectionTrims(t *testing.T) {
+	in := smallDiagInstance()
+	in.DDL = 1
+	in.Latencies[3] = 2 // departed: beyond the deadline in the new epoch
+	in.Capacity = 60    // tightened: the previous selection no longer fits
+
+	prev := core.Solution{Selected: make([]bool, len(in.Sizes))}
+	for i := range prev.Selected {
+		prev.Selected[i] = true
+	}
+
+	cfg := core.SEConfig{Seed: 13, Gamma: 2, MaxIters: 256, ConvergenceWindow: 256, WarmStart: true}
+	sol, _, err := core.NewSE(cfg).SolveFrom(in, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Selected[3] {
+		t.Fatal("warm start resurrected a departed shard")
+	}
+	valid := in
+	if !valid.Feasible(sol.Selected) {
+		t.Fatalf("warm-started solution infeasible: load %d count %d", sol.Load, sol.Count)
+	}
+
+	// A longer previous selection than the instance (shards renumbered
+	// between epochs) must be truncated, not panic.
+	long := core.Solution{Selected: make([]bool, len(in.Sizes)+7)}
+	for i := range long.Selected {
+		long.Selected[i] = true
+	}
+	if _, _, err := core.NewSE(cfg).SolveFrom(in, long); err != nil {
+		t.Fatal(err)
+	}
+}

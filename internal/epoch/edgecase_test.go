@@ -1,0 +1,162 @@
+package epoch
+
+// Regression tests for the failure/arrival edge cases of the epoch
+// pipeline: the zero-latency consensus-failure bug, the
+// assignArrivedBlocks slice/modulo panics, and the admissionDeadline
+// quantile.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMarkConsensusFailed pins the consensus-failure semantics: the old
+// code reported a zero latency for a committee whose PBFT/overlay stage
+// errored, which made the *failed* committee the fastest submitter and
+// let it define the admission deadline. A failed committee must instead
+// be marked failed with a sentinel late latency, and must never close
+// the admission window.
+func TestMarkConsensusFailed(t *testing.T) {
+	rep := CommitteeReport{Committee: 3, Formation: 100 * time.Second, Consensus: 5 * time.Second,
+		TwoPhase: 105 * time.Second}
+	markConsensusFailed(&rep)
+	if !rep.Failed {
+		t.Fatal("consensus failure did not mark the report failed")
+	}
+	if rep.Consensus != consensusFailedLatency {
+		t.Fatalf("consensus latency %v, want the sentinel %v", rep.Consensus, consensusFailedLatency)
+	}
+	if rep.TwoPhase != 100*time.Second+consensusFailedLatency {
+		t.Fatalf("two-phase latency %v does not carry the sentinel", rep.TwoPhase)
+	}
+	if rep.TwoPhase < 0 {
+		t.Fatal("sentinel overflowed time.Duration")
+	}
+
+	// The failed committee must not define the deadline at any fraction —
+	// with the old zero-latency bug a 0.25 quantile over these four
+	// reports would have returned 0.
+	reports := []CommitteeReport{
+		rep,
+		{TwoPhase: 100 * time.Second},
+		{TwoPhase: 300 * time.Second},
+		{TwoPhase: 200 * time.Second},
+	}
+	for _, frac := range []float64{0.01, 0.25, 0.5, 1.0} {
+		got := admissionDeadline(reports, frac)
+		if got <= 0 || got >= consensusFailedLatency {
+			t.Fatalf("frac %v: deadline %v tainted by the failed committee", frac, got)
+		}
+	}
+	if got := admissionDeadline(reports, 1.0); got != 300*time.Second {
+		t.Fatalf("frac 1.0 over live committees: got %v want 300s", got)
+	}
+	// Every committee failed: no one can close the window.
+	allFailed := []CommitteeReport{{Failed: true, TwoPhase: time.Second}}
+	if got := admissionDeadline(allFailed, 0.8); got != 0 {
+		t.Fatalf("all-failed deadline %v, want 0", got)
+	}
+}
+
+// TestAdmissionDeadlineQuantile pins the math.Ceil quantile against the
+// former +0.999999 hack on the edges the hack got right by accident —
+// and the ones it documents poorly: fraction 0, fraction 1, a
+// single-report slice, and an exact product that floating point nudges
+// just above an integer (0.8·35).
+func TestAdmissionDeadlineQuantile(t *testing.T) {
+	many := make([]CommitteeReport, 35)
+	for i := range many {
+		many[i] = CommitteeReport{TwoPhase: time.Duration(i+1) * time.Second}
+	}
+	if got := admissionDeadline(many, 0.8); got != 28*time.Second {
+		t.Fatalf("0.8 of 35: got %v want 28s (⌈0.8·35⌉ = 28th arrival)", got)
+	}
+	if got := admissionDeadline(many, 0); got != time.Second {
+		t.Fatalf("fraction 0: got %v want the first arrival", got)
+	}
+	if got := admissionDeadline(many, 1); got != 35*time.Second {
+		t.Fatalf("fraction 1: got %v want the last arrival", got)
+	}
+	single := []CommitteeReport{{TwoPhase: 7 * time.Second}}
+	for _, frac := range []float64{0, 0.01, 0.5, 1} {
+		if got := admissionDeadline(single, frac); got != 7*time.Second {
+			t.Fatalf("single report, frac %v: got %v want 7s", frac, got)
+		}
+	}
+	// Failed committees shrink the population the quantile ranks over.
+	mixed := make([]CommitteeReport, 35)
+	copy(mixed, many)
+	for i := 0; i < 5; i++ {
+		mixed[i].Failed = true // the five fastest die
+	}
+	if got := admissionDeadline(mixed, 0.8); got != 29*time.Second {
+		t.Fatalf("0.8 of 30 live: got %v want 29s (24th live arrival)", got)
+	}
+}
+
+// TestAssignArrivedBlocksClamps covers the PoolDriven window accounting
+// when the report slice disagrees with the configured committee count:
+// fewer reports than committees must not panic the slice bound, and an
+// empty slice must not divide by zero in the round-robin — the window's
+// blocks stay in the trace for the next epoch instead of vanishing.
+func TestAssignArrivedBlocksClamps(t *testing.T) {
+	cfg := fastConfig(4, 77)
+	cfg.PoolDriven = true
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.trace.Blocks) == 0 {
+		t.Fatal("trace generated no blocks")
+	}
+	horizon := p.trace.Blocks[len(p.trace.Blocks)-1].BTime + time.Second
+
+	// Empty slice: no panic, no blocks consumed, wall clock still moves.
+	p.assignArrivedBlocks(nil, horizon)
+	if p.blockCursor != 0 {
+		t.Fatalf("empty reports consumed %d blocks", p.blockCursor)
+	}
+	if p.wallClock != horizon {
+		t.Fatalf("wall clock %v, want %v", p.wallClock, horizon)
+	}
+
+	// Fewer reports than configured committees: clamp, assign round-robin
+	// over the ones that exist.
+	short := make([]CommitteeReport, 2)
+	p.assignArrivedBlocks(short, horizon)
+	if p.blockCursor != len(p.trace.Blocks) {
+		t.Fatalf("consumed %d of %d blocks", p.blockCursor, len(p.trace.Blocks))
+	}
+	total := 0
+	for _, rep := range short {
+		total += rep.TxCount
+	}
+	var want int
+	for _, b := range p.trace.Blocks {
+		want += b.Txs
+	}
+	if total != want {
+		t.Fatalf("assigned %d txs, trace holds %d", total, want)
+	}
+
+	// More reports than committees (deferred entries appended): only the
+	// fresh prefix is re-packaged, carried shards keep their size.
+	p2, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]CommitteeReport, 6)
+	long[4].TxCount = 1234 // deferred carry
+	long[5].TxCount = 567
+	p2.assignArrivedBlocks(long, horizon)
+	if long[4].TxCount != 1234 || long[5].TxCount != 567 {
+		t.Fatalf("deferred shards re-packaged: %d, %d", long[4].TxCount, long[5].TxCount)
+	}
+	fresh := 0
+	for _, rep := range long[:4] {
+		fresh += rep.TxCount
+	}
+	if fresh != want {
+		t.Fatalf("fresh committees packaged %d txs, trace holds %d", fresh, want)
+	}
+}

@@ -20,6 +20,7 @@ package epoch
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -106,6 +107,14 @@ type Config struct {
 	// network calibrated to ConsensusTarget) instead of the analytic
 	// order-statistics model.
 	DetailedConsensus bool
+	// MaxDeferrals, when positive, bounds how many consecutive epochs a
+	// refused committee may re-submit before its shard expires and is
+	// dropped. 0 (the default) keeps the paper's unbounded deferral
+	// (Fig. 3). Long-lived serving loops under sustained capacity
+	// pressure need a bound: without one the deferral backlog — refused
+	// shards re-queueing while fresh shards keep arriving — grows with
+	// epoch count, and so do the live set and the heap.
+	MaxDeferrals int
 	// PoolDriven feeds epochs from the trace's arrival process: instead
 	// of re-sharding the entire trace every epoch, committees package
 	// only the blocks whose btime falls inside the epoch's wall-clock
@@ -179,6 +188,9 @@ type CommitteeReport struct {
 	Arrived bool
 	// Failed marks a committee that failed mid-epoch (injected).
 	Failed bool
+	// Deferrals counts how many epochs this shard has been carried over
+	// after a refusal (0 for a fresh submission).
+	Deferrals int
 }
 
 // Result is one epoch's full outcome.
@@ -267,6 +279,9 @@ type Pipeline struct {
 	// reduced two-phase latency.
 	deferred []CommitteeReport
 	epoch    int
+	// srv is the active Serve session (scratch buffers + warm-start
+	// threading); nil for one-shot RunEpoch calls.
+	srv *serveState
 }
 
 // NewPipeline validates the configuration, generates the transaction
@@ -321,7 +336,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		return nil, fmt.Errorf("%w: nil scheduler", ErrBadConfig)
 	}
 	p.epoch++
-	res := &Result{Epoch: p.epoch}
+	res := p.newResult()
 	engine := sim.NewEngine()
 
 	reports, err := p.memberStages(engine)
@@ -330,7 +345,11 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	}
 	// Carried-over committees re-submit with their residual latency.
 	reports = append(reports, p.deferred...)
-	p.deferred = nil
+	if p.srv != nil {
+		// Keep the (possibly grown) backing array for the next epoch.
+		p.srv.reports = reports
+	}
+	p.deferred = p.deferred[:0]
 
 	// The admission window closes when ⌈Nmax·count⌉ committees have
 	// submitted; that arrival instant is the deadline t_j.
@@ -366,9 +385,10 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		}
 		return nil, fmt.Errorf("epoch %d: every committee failed", p.epoch)
 	}
+	sizes, lats := p.scratchInstance(len(res.Live))
 	in := core.Instance{
-		Sizes:     make([]int, len(res.Live)),
-		Latencies: make([]float64, len(res.Live)),
+		Sizes:     sizes,
+		Latencies: lats,
 		DDL:       res.DDL,
 		Alpha:     alpha,
 		Capacity:  capacity,
@@ -381,13 +401,19 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("epoch %d instance: %w", p.epoch, err)
 	}
-	res.Instance = in.Clone()
+	if p.srv == nil {
+		res.Instance = in.Clone()
+	} else {
+		// Serve mode: the instance is scratch, valid until the next epoch.
+		res.Instance = in
+	}
 
-	sol, err := sched.Schedule(in.Clone())
+	sol, err := p.schedule(sched, in, res)
 	if err != nil {
 		return nil, fmt.Errorf("epoch %d schedule: %w", p.epoch, err)
 	}
 	res.Solution = sol
+	p.recordPermitted(res)
 	if o := p.cfg.Obs; o != nil {
 		o.Trace.Emit(obs.EvEpochPhase, "epoch", float64(p.epoch), "schedule")
 		o.PermittedTxs.Add(int64(sol.Load))
@@ -399,6 +425,9 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	// committees defer to the next epoch with reduced latency (Fig. 3):
 	// l' = max(l − t_j, 0) plus a fresh consensus round.
 	var shards []*chain.ShardBlock
+	if p.srv != nil {
+		shards = p.srv.shards[:0]
+	}
 	cumAge := 0.0
 	for li, ri := range res.Live {
 		rep := reports[ri]
@@ -417,6 +446,13 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 			continue
 		}
 		carried := rep
+		carried.Deferrals++
+		if p.cfg.MaxDeferrals > 0 && carried.Deferrals > p.cfg.MaxDeferrals {
+			// The shard expires instead of re-queueing forever; under
+			// sustained capacity pressure this is what keeps the deferral
+			// backlog — and the live set — bounded.
+			continue
+		}
 		residual := rep.TwoPhase - ddl
 		if residual < 0 {
 			residual = 0
@@ -427,6 +463,9 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		res.Deferred = append(res.Deferred, carried)
 	}
 	p.deferred = append(p.deferred, res.Deferred...)
+	if p.srv != nil {
+		p.srv.shards = shards
+	}
 
 	fb, err := p.chain.Append(p.epoch, engine.Now()+ddl, shards)
 	if err != nil {
@@ -505,7 +544,7 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 		return nil, fmt.Errorf("shard trace: %w", err)
 	}
 
-	reports := make([]CommitteeReport, cfg.Committees)
+	reports := p.scratchReports(cfg.Committees)
 	pbftRNG := p.rng.Split()
 	// Stage 2's network-wide identity establishment: every node's PoW
 	// solution and key are verified through the directory, costing
@@ -523,14 +562,18 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 				cfgLatency = 0
 			}
 			cfgLatency += identityLatency
-			total := p.consensusLatency(pbftRNG)
-			reports[ci] = CommitteeReport{
+			total, consErr := p.consensusLatency(pbftRNG)
+			rep := CommitteeReport{
 				Committee: com.ID,
 				Formation: now + cfgLatency,
 				Consensus: total,
 				TwoPhase:  now + cfgLatency + total,
 				TxCount:   shards[ci].TxTotal,
 			}
+			if consErr != nil {
+				markConsensusFailed(&rep)
+			}
+			reports[ci] = rep
 			done++
 		}); err != nil {
 			return nil, err
@@ -549,13 +592,21 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 					o.Trace.Emit(obs.EvDistFault, FaultPointCommittee,
 						float64(p.epoch), fmt.Sprintf("committee-%d", reports[ci].Committee))
 				}
-			} else {
+			} else if !reports[ci].Failed {
 				anyLive = true
 			}
 		}
 		if !anyLive && len(reports) > 0 {
-			// Keep at least one committee alive so the epoch can proceed.
-			reports[0].Failed = false
+			// Keep at least one committee alive so the epoch can proceed —
+			// one that reached consensus, if any did (reviving a
+			// consensus-failed committee would leave the epoch with only a
+			// sentinel-latency straggler).
+			for ci := range reports {
+				if reports[ci].Consensus != consensusFailedLatency {
+					reports[ci].Failed = false
+					break
+				}
+			}
 		}
 	}
 	if cfg.FailureRate > 0 {
@@ -586,28 +637,57 @@ func (p *Pipeline) memberStages(engine *sim.Engine) ([]CommitteeReport, error) {
 // left without blocks report an empty shard.
 func (p *Pipeline) assignArrivedBlocks(reports []CommitteeReport, ddl time.Duration) {
 	end := p.wallClock + ddl
-	var drained []txgen.Block
-	for p.blockCursor < len(p.trace.Blocks) && p.trace.Blocks[p.blockCursor].BTime <= end {
-		drained = append(drained, p.trace.Blocks[p.blockCursor])
-		p.blockCursor++
-	}
 	p.wallClock = end
-	fresh := reports[:p.cfg.Committees] // deferred entries follow the new ones
+	// Deferred entries follow the new ones; clamp in case fewer reports
+	// exist than configured committees (a truncated slice from a caller
+	// must not panic the window accounting).
+	fresh := reports
+	if len(fresh) > p.cfg.Committees {
+		fresh = fresh[:p.cfg.Committees]
+	}
 	for i := range fresh {
 		fresh[i].TxCount = 0
 	}
-	for i, b := range drained {
-		fresh[i%len(fresh)].TxCount += b.Txs
+	if len(fresh) == 0 {
+		// No committee to package the window's blocks: leave the cursor
+		// where it is so the transactions are drained next epoch instead
+		// of being silently dropped (and avoid the mod-zero round-robin).
+		return
 	}
+	i := 0
+	for p.blockCursor < len(p.trace.Blocks) && p.trace.Blocks[p.blockCursor].BTime <= end {
+		fresh[i%len(fresh)].TxCount += p.trace.Blocks[p.blockCursor].Txs
+		i++
+		p.blockCursor++
+	}
+}
+
+// consensusFailedLatency is the sentinel two-phase contribution of a
+// committee whose consensus stage failed: far beyond any admission
+// deadline, yet small enough that Formation + sentinel stays inside
+// time.Duration's ~292-year range. The committee "submits very late or
+// not at all" — the previous code returned a zero latency here, which
+// made a crashed committee the *fastest* submitter and let it define
+// the admission deadline.
+const consensusFailedLatency = 100 * 365 * 24 * time.Hour
+
+// markConsensusFailed rewrites a report whose consensus stage errored:
+// the committee is failed (the final committee's pings find no live
+// quorum, Section V) and its two-phase latency becomes the sentinel, so
+// it can neither arrive nor close the admission window.
+func markConsensusFailed(rep *CommitteeReport) {
+	rep.Failed = true
+	rep.Consensus = consensusFailedLatency
+	rep.TwoPhase = rep.Formation + consensusFailedLatency
 }
 
 // consensusLatency runs stage 3 for one committee: the analytic
 // order-statistics model by default, or a message-level PBFT instance on
-// a fresh intra-committee network when DetailedConsensus is set. Failures
-// inside consensus degrade to a zero-latency report rather than aborting
-// the epoch (the committee simply submits very late or not at all, which
-// the deadline handles).
-func (p *Pipeline) consensusLatency(rng *randx.RNG) time.Duration {
+// a fresh intra-committee network when DetailedConsensus is set. A
+// non-nil error means the committee reached no consensus this epoch; the
+// caller marks the report failed with a sentinel late latency rather
+// than aborting the epoch.
+func (p *Pipeline) consensusLatency(rng *randx.RNG) (time.Duration, error) {
 	cfg := p.cfg
 	if cfg.DetailedConsensus {
 		members := make([]int, cfg.CommitteeSize)
@@ -622,7 +702,7 @@ func (p *Pipeline) consensusLatency(rng *randx.RNG) time.Duration {
 			MeanLatency: p.detailedLink,
 		})
 		if err != nil {
-			return 0
+			return 0, err
 		}
 		res, err := pbft.RunDetailed(sim.NewEngine(), net, pbft.DetailedConfig{
 			Replicas:        members,
@@ -630,9 +710,9 @@ func (p *Pipeline) consensusLatency(rng *randx.RNG) time.Duration {
 			ProcessingDelay: time.Microsecond,
 		})
 		if err != nil {
-			return 0
+			return 0, err
 		}
-		return res.ConsensusAt
+		return res.ConsensusAt, nil
 	}
 	consensus, err := pbft.Run(rng, pbft.Config{
 		Replicas: cfg.CommitteeSize,
@@ -640,9 +720,9 @@ func (p *Pipeline) consensusLatency(rng *randx.RNG) time.Duration {
 		MeanStep: p.pbftStep,
 	})
 	if err != nil {
-		return 0
+		return 0, err
 	}
-	return consensus.Total
+	return consensus.Total, nil
 }
 
 // injectFailures fails committees with the configured probability and has
@@ -723,17 +803,26 @@ func (p *Pipeline) shardRoot(rep CommitteeReport) chain.Hash {
 }
 
 // admissionDeadline returns the arrival time of the ⌈fraction·n⌉-th
-// committee (ascending two-phase latency).
+// committee (ascending two-phase latency) among the committees that can
+// still submit: failed committees never arrive (the final committee's
+// pings have confirmed their death, Section V), so they cannot close
+// the admission window.
 func admissionDeadline(reports []CommitteeReport, fraction float64) time.Duration {
-	if len(reports) == 0 {
+	lat := make([]time.Duration, 0, len(reports))
+	for _, r := range reports {
+		if !r.Failed {
+			lat = append(lat, r.TwoPhase)
+		}
+	}
+	if len(lat) == 0 {
 		return 0
 	}
-	lat := make([]time.Duration, len(reports))
-	for i, r := range reports {
-		lat[i] = r.TwoPhase
-	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	idx := int(fraction*float64(len(lat))+0.999999) - 1
+	// The ⌈fraction·n⌉-th order statistic. The 1e-9 slack keeps exact
+	// products that land just above an integer in floating point
+	// (0.8·35 = 28.000000000000004) from rounding up one extra rank;
+	// fraction ≤ 0 clamps to the first arrival, fraction = 1 to the last.
+	idx := int(math.Ceil(fraction*float64(len(lat))-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}

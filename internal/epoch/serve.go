@@ -1,0 +1,244 @@
+package epoch
+
+// The streaming serving mode: Serve runs epochs continuously against an
+// EpochStream, reusing per-epoch scratch buffers (no steady-state
+// allocation growth across thousands of epochs) and threading each
+// epoch's scheduling decision into the next as a warm start for
+// warm-capable schedulers. cmd/mvcom-soak drives this loop under fault
+// injection to prove memory and goroutine discipline.
+
+import (
+	"context"
+	"fmt"
+
+	"mvcom/internal/chain"
+	"mvcom/internal/core"
+)
+
+// EpochParams are the per-epoch scheduling parameters an EpochStream
+// supplies: the MVCom instance knobs RunEpoch takes as arguments.
+type EpochParams struct {
+	Alpha    float64
+	Capacity int
+	Nmin     int
+}
+
+// EpochStream drives a Serve loop. Next supplies the parameters for the
+// coming epoch (ok = false ends the loop cleanly); Deliver consumes the
+// epoch's result.
+//
+// In serve mode the Result and everything it references — Reports,
+// Live, Deferred, and the Instance's slices — are scratch owned by the
+// pipeline and valid only until the next epoch starts; Deliver
+// implementations must copy whatever they keep.
+type EpochStream interface {
+	Next(epoch int) (EpochParams, bool)
+	Deliver(res *Result) error
+}
+
+// FixedStream is the simplest EpochStream: N epochs with constant
+// parameters, each result forwarded to OnResult (which may be nil).
+// N <= 0 serves until the context is canceled or OnResult errors.
+type FixedStream struct {
+	N        int
+	Params   EpochParams
+	OnResult func(*Result) error
+
+	served int
+}
+
+// Next implements EpochStream.
+func (s *FixedStream) Next(int) (EpochParams, bool) {
+	if s.N > 0 && s.served >= s.N {
+		return EpochParams{}, false
+	}
+	s.served++
+	return s.Params, true
+}
+
+// Deliver implements EpochStream.
+func (s *FixedStream) Deliver(res *Result) error {
+	if s.OnResult == nil {
+		return nil
+	}
+	return s.OnResult(res)
+}
+
+// WarmScheduler is a Scheduler that can seed its search from the
+// previous epoch's decision. Serve threads the warm start through this
+// interface; schedulers that do not implement it are simply called cold
+// every epoch.
+type WarmScheduler interface {
+	Scheduler
+	// ScheduleFrom schedules in, optionally seeded from prev (the
+	// previous epoch's selection mapped onto in's shard indices). prev
+	// is read-only.
+	ScheduleFrom(in core.Instance, prev core.Solution) (core.Solution, error)
+}
+
+// ScheduleFrom implements WarmScheduler when the wrapped Solver is
+// warm-capable (core.WarmSolver); other solvers are called cold.
+func (s SolverScheduler) ScheduleFrom(in core.Instance, prev core.Solution) (core.Solution, error) {
+	if ws, ok := s.Solver.(core.WarmSolver); ok {
+		sol, _, err := ws.SolveFrom(in, prev)
+		return sol, err
+	}
+	sol, _, err := s.Solver.Solve(in)
+	return sol, err
+}
+
+var _ WarmScheduler = SolverScheduler{}
+
+// serveState is one Serve call's session: scratch buffers reused across
+// epochs plus the warm-start threading between them. It exists only
+// while Serve runs; one-shot RunEpoch calls allocate fresh as before.
+type serveState struct {
+	// reports backs memberStages' per-epoch slice (including the
+	// deferred entries appended after it).
+	reports []CommitteeReport
+	// sizes and lats back the scheduling instance's slices.
+	sizes []int
+	lats  []float64
+	// sel backs the warm-start selection projected over Live indices.
+	sel []bool
+	// shards backs the final-block assembly slice (the ShardBlocks
+	// themselves are retained by the caller-visible FinalBlock path, the
+	// slice header is not).
+	shards []*chain.ShardBlock
+	// result is the reused per-epoch Result.
+	result Result
+	// permitted holds the committee IDs the previous epoch's decision
+	// selected; havePrev is false until a first decision exists.
+	permitted map[int]bool
+	havePrev  bool
+}
+
+// Serve runs epochs continuously until the stream ends, the context is
+// canceled, or an epoch fails. Between epochs it threads the previous
+// decision into warm-capable schedulers (WarmScheduler) and reuses the
+// per-epoch run state, so a long-lived serving loop neither cold-starts
+// the chain every epoch nor grows the heap with epoch count. Schedulers
+// must not mutate the instance's slices (the core.Solver contract):
+// serve mode hands them the scratch-backed instance without a defensive
+// clone.
+func (p *Pipeline) Serve(ctx context.Context, sched Scheduler, stream EpochStream) error {
+	if sched == nil {
+		return fmt.Errorf("%w: nil scheduler", ErrBadConfig)
+	}
+	if stream == nil {
+		return fmt.Errorf("%w: nil stream", ErrBadConfig)
+	}
+	if p.srv != nil {
+		return fmt.Errorf("%w: pipeline is already serving", ErrBadConfig)
+	}
+	p.srv = &serveState{permitted: make(map[int]bool)}
+	defer func() { p.srv = nil }()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		params, ok := stream.Next(p.epoch + 1)
+		if !ok {
+			return nil
+		}
+		res, err := p.RunEpoch(sched, params.Alpha, params.Capacity, params.Nmin)
+		if err != nil {
+			return err
+		}
+		if err := stream.Deliver(res); err != nil {
+			return err
+		}
+	}
+}
+
+// newResult returns the Result for the coming epoch: a fresh allocation
+// in one-shot mode, the reused scratch Result (slices truncated, not
+// freed) in serve mode.
+func (p *Pipeline) newResult() *Result {
+	if p.srv == nil {
+		return &Result{Epoch: p.epoch}
+	}
+	res := &p.srv.result
+	*res = Result{
+		Epoch:    p.epoch,
+		Live:     res.Live[:0],
+		Deferred: res.Deferred[:0],
+	}
+	return res
+}
+
+// scratchReports returns the report slice for memberStages: fresh in
+// one-shot mode, the zeroed serve scratch otherwise.
+func (p *Pipeline) scratchReports(n int) []CommitteeReport {
+	if p.srv == nil {
+		return make([]CommitteeReport, n)
+	}
+	if cap(p.srv.reports) < n {
+		p.srv.reports = make([]CommitteeReport, n)
+	}
+	rs := p.srv.reports[:n]
+	for i := range rs {
+		rs[i] = CommitteeReport{}
+	}
+	return rs
+}
+
+// scratchInstance returns the size/latency slices for the epoch's
+// scheduling instance, reused in serve mode.
+func (p *Pipeline) scratchInstance(n int) ([]int, []float64) {
+	if p.srv == nil {
+		return make([]int, n), make([]float64, n)
+	}
+	if cap(p.srv.sizes) < n {
+		p.srv.sizes = make([]int, n)
+		p.srv.lats = make([]float64, n)
+	}
+	return p.srv.sizes[:n], p.srv.lats[:n]
+}
+
+// schedule invokes the scheduler for the built instance. One-shot calls
+// keep the historical defensive clone; serve mode hands over the
+// scratch-backed instance directly and, when both sides are
+// warm-capable, seeds the search from the previous epoch's decision
+// projected onto this epoch's live committees (committee IDs are the
+// identity that survives re-formation; departed or newly quiet
+// committees simply drop out of the projection, exactly as a leave
+// trims the SE state space).
+func (p *Pipeline) schedule(sched Scheduler, in core.Instance, res *Result) (core.Solution, error) {
+	srv := p.srv
+	if srv == nil {
+		return sched.Schedule(in.Clone())
+	}
+	ws, warm := sched.(WarmScheduler)
+	if !warm || !srv.havePrev {
+		return sched.Schedule(in)
+	}
+	if cap(srv.sel) < len(res.Live) {
+		srv.sel = make([]bool, len(res.Live))
+	}
+	sel := srv.sel[:0]
+	for _, ri := range res.Live {
+		sel = append(sel, srv.permitted[res.Reports[ri].Committee])
+	}
+	srv.sel = sel
+	return ws.ScheduleFrom(in, core.Solution{Selected: sel})
+}
+
+// recordPermitted remembers which committee IDs this epoch's decision
+// selected, feeding the next epoch's warm start. Quiet epochs (no
+// decision) keep the previous set.
+func (p *Pipeline) recordPermitted(res *Result) {
+	srv := p.srv
+	if srv == nil {
+		return
+	}
+	for id := range srv.permitted {
+		delete(srv.permitted, id)
+	}
+	for li, ri := range res.Live {
+		if li < len(res.Solution.Selected) && res.Solution.Selected[li] {
+			srv.permitted[res.Reports[ri].Committee] = true
+		}
+	}
+	srv.havePrev = len(srv.permitted) > 0
+}

@@ -130,6 +130,12 @@ type ImprovePoint struct {
 	Utility float64 `json:"utility"`
 }
 
+// EventWarmStart is the EventMark kind recorded when a run is seeded
+// from a previous epoch's solution (SE.SolveFrom). Like join/leave it
+// resets the improvement-history level, so time-to-ε measures the
+// re-convergence from the seeded state rather than the cold climb.
+const EventWarmStart = "warm-start"
+
 // EventMark records a dynamic join/leave applied mid-run.
 type EventMark struct {
 	Round int    `json:"round"`
@@ -195,6 +201,10 @@ type Snapshot struct {
 	UtilitySamples         int     `json:"utility_samples"`
 
 	DTV *DTVSnapshot `json:"dtv,omitempty"`
+
+	// WarmStarts counts the EventWarmStart marks in Events (a serving
+	// loop records one per warm-seeded epoch).
+	WarmStarts int `json:"warm_starts,omitempty"`
 
 	Windows []Window       `json:"windows"`
 	History []ImprovePoint `json:"history"`
@@ -489,6 +499,11 @@ func (d *Diag) Snapshot() Snapshot {
 		Windows:        append([]Window(nil), d.windows...),
 		History:        append([]ImprovePoint(nil), d.history...),
 		Events:         append([]EventMark(nil), d.events...),
+	}
+	for _, e := range s.Events {
+		if e.Kind == EventWarmStart {
+			s.WarmStarts++
+		}
 	}
 	if d.explorerRounds > 0 {
 		s.SwapAcceptRate = float64(d.swaps) / float64(d.explorerRounds)
