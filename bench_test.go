@@ -394,6 +394,28 @@ func BenchmarkSEStep(b *testing.B) {
 	}
 }
 
+// BenchmarkSERounds measures the steady-state round loop on the big
+// instance — the tentpole's target: construction is amortized away (one
+// engine, pre-warmed past its first segment merges so the snapshot pool
+// is primed), each op is one transition round, and the loop must run
+// allocation-free (ci.sh gates allocs/op == 0 here). rounds/sec is the
+// journaled throughput metric.
+func BenchmarkSERounds(b *testing.B) {
+	in := benchInstance(b, 200)
+	engine, err := core.NewEngine(in, core.SEConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.StepN(256) // past the first merges: pool primed, caches hot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+}
+
 // BenchmarkBaselines measures each comparison algorithm on the same
 // instance.
 func BenchmarkBaselines(b *testing.B) {

@@ -70,6 +70,31 @@ echo "$bench_out" | awk '
 go run ./cmd/mvcom-benchdiff -selftest
 go test -run '^$' -bench '^BenchmarkSESolveSize$' -benchtime 30x -count 5 . \
 	| tee results/bench_journal_raw.txt
+
+# Alloc-free round-loop gate: the steady-state SE round loop
+# (BenchmarkSERounds: pool primed, caches hot) must report exactly
+# 0 allocs/op. This is a hard awk gate rather than a benchdiff one
+# because the differ skips the allocation ratio when the baseline
+# median is zero — the very state this gate protects.
+go test -run '^$' -bench '^BenchmarkSERounds$' -benchtime 20000x -count 3 . \
+	| tee results/bench_rounds_raw.txt
+awk '
+	/^BenchmarkSERounds/ {
+		seen = 1
+		for (i = 2; i <= NF; i++)
+			if ($i == "allocs/op" && $(i-1) + 0 != 0) bad = 1
+	}
+	END {
+		if (!seen) { print "rounds gate: missing samples" > "/dev/stderr"; exit 1 }
+		if (bad) { print "rounds gate: steady-state round loop allocates" > "/dev/stderr"; exit 1 }
+		print "rounds gate: 0 allocs/op confirmed"
+	}' results/bench_rounds_raw.txt
+
+# The journal ingests both benchmarks (plus the convergence probe, which
+# itself refuses builds where the adaptive schedule converges slower
+# than the fixed chain on the probe seed), so the committed baseline
+# carries rounds/sec alongside the solve wall time.
+cat results/bench_rounds_raw.txt >> results/bench_journal_raw.txt
 go run ./cmd/mvcom-benchdiff -ingest results/bench_journal_raw.txt \
 	-out results/BENCH_MVCOM.json -convergence -note "ci run"
 # The differ's default 10% time threshold suits dedicated hardware; on a
@@ -96,3 +121,26 @@ go run ./cmd/mvcom-soak -epochs 50 -se-iters 800 \
 	-journal results/BENCH_SOAK.json -note "ci soak smoke"
 go run ./cmd/mvcom-benchdiff -old BENCH_SOAK.json -new results/BENCH_SOAK.json \
 	-time-threshold 0.35
+
+# Adaptive-schedule soak gate: the same warm-start serving loop on the
+# same seed, fixed vs adaptive. The annealed schedule must not reach the
+# ε-band of each epoch's final best any slower than the fixed chain
+# (warm-started epochs usually tie; a regression here means a schedule
+# decision is disturbing converged epochs).
+go run ./cmd/mvcom-soak -epochs 40 -se-iters 800 -q \
+	| tee results/soak_fixed.txt
+go run ./cmd/mvcom-soak -epochs 40 -se-iters 800 -adaptive -q \
+	| tee results/soak_adaptive.txt
+fixed_tte="$(awk '/^mean rounds-to-eps:/ {print $3}' results/soak_fixed.txt)"
+adaptive_tte="$(awk '/^mean rounds-to-eps:/ {print $3}' results/soak_adaptive.txt)"
+awk -v f="$fixed_tte" -v a="$adaptive_tte" 'BEGIN {
+	if (f == "" || a == "") { print "adaptive soak gate: missing rounds-to-eps" > "/dev/stderr"; exit 1 }
+	printf "adaptive soak: rounds-to-eps adaptive %.1f vs fixed %.1f (gate: adaptive <= fixed)\n", a, f
+	if (a + 0 > f + 0) { print "adaptive soak gate: schedule slowed convergence" > "/dev/stderr"; exit 1 }
+}'
+
+# Kernel profiles: CPU and heap profiles of a representative figure run,
+# published as CI artifacts for offline flamegraph inspection.
+go run ./cmd/mvcom-bench -fig 8 -scale 0.2 \
+	-cpuprofile results/sesolve_cpu.pprof \
+	-memprofile results/sesolve_mem.pprof > /dev/null

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mvcom/internal/experiments"
@@ -39,11 +41,42 @@ func run(args []string) error {
 		report   = fs.Bool("report", false, "emit a markdown report instead of TSV")
 		sebench  = fs.Bool("sebench", false, "benchmark the SE kernel (serial vs parallel per Γ) and write BENCH_SE.json")
 		workers  = fs.Int("workers", 0, "SE kernel worker goroutines for figure runs (0 = GOMAXPROCS)")
+		adaptive = fs.Bool("adaptive", false, "annealed β/Γ schedule in every SE solver the figures build")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file when the run ends")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvcom-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mvcom-bench: memprofile:", err)
+			}
+		}()
 	}
 	var reg *obs.Registry
 	if *metrAddr != "" {
@@ -62,7 +95,7 @@ func run(args []string) error {
 		}
 		return runSEBench(dir, *seed)
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers, Obs: reg}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers, Adaptive: *adaptive, Obs: reg}
 
 	ids := []string{*fig}
 	if *fig == "all" {

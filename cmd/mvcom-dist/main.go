@@ -47,6 +47,7 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 2, "number of workers to wait for / spawn")
 		gamma    = fs.Int("gamma", 1, "explorers Γ each worker runs in-process")
 		sework   = fs.Int("se-workers", 0, "goroutines per worker's SE kernel (0 = GOMAXPROCS)")
+		adaptive = fs.Bool("adaptive", false, "annealed β/Γ schedule in every worker's SE kernel")
 		shards   = fs.Int("shards", 50, "number of member committees |I|")
 		capacity = fs.Int("capacity", 40000, "final-block TX capacity Ĉ")
 		alpha    = fs.Float64("alpha", 1.5, "throughput weight α")
@@ -120,6 +121,7 @@ func run(args []string) error {
 			Seed:                 *seed,
 			Gamma:                *gamma,
 			SEWorkers:            *sework,
+			Adaptive:             *adaptive,
 			FI:                   fi,
 			Obs:                  obs.NewDistObserver(reg, "coordinator"),
 		})

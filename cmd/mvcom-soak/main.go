@@ -64,6 +64,12 @@ type soakStream struct {
 	served     int
 	warmEpochs int
 
+	// tteSum/tteN accumulate rounds-to-ε across every warm-started epoch
+	// of the whole run (the per-window means reset); ci.sh compares the
+	// run-level mean between an adaptive and a fixed soak on one seed.
+	tteSum float64
+	tteN   int
+
 	winNs, winLoad, winTTE float64
 	winEpochs, winTTEn     int
 	windows                []window
@@ -93,6 +99,8 @@ func (s *soakStream) Deliver(res *epoch.Result) error {
 			if snap.TimeToEpsRounds >= 0 {
 				s.winTTE += float64(snap.TimeToEpsRounds)
 				s.winTTEn++
+				s.tteSum += float64(snap.TimeToEpsRounds)
+				s.tteN++
 			}
 		}
 	}
@@ -149,6 +157,7 @@ func run(args []string) error {
 		gamma       = fs.Int("gamma", 4, "SE parallel exploration threads")
 		seIters     = fs.Int("se-iters", 2000, "SE rounds per epoch")
 		workers     = fs.Int("workers", 0, "SE kernel worker goroutines (0 = GOMAXPROCS)")
+		adaptive    = fs.Bool("adaptive", false, "annealed β/Γ schedule in the epoch solver")
 		seed        = fs.Int64("seed", 1, "random seed")
 		sampleEvery = fs.Int("sample-every", 0, "epochs per MemStats/goroutine sampling window (0 = epochs/10, min 1)")
 		journalPath = fs.String("journal", "", "write a benchjournal (steady-state epoch latency) to this path")
@@ -210,6 +219,7 @@ func run(args []string) error {
 		Workers:   *workers,
 		MaxIters:  *seIters,
 		WarmStart: *warm,
+		Adaptive:  *adaptive,
 		Diag:      diag,
 		Obs:       obs.NewSEObserver(reg),
 	})}
@@ -258,6 +268,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("\nserved %d epochs in %s (chain height %d, %d warm-started)\n",
 		stream.served, elapsed.Round(time.Millisecond), p.Chain().Height(), stream.warmEpochs)
+	if stream.tteN > 0 {
+		fmt.Printf("mean rounds-to-eps: %.1f over %d warm epochs\n",
+			stream.tteSum/float64(stream.tteN), stream.tteN)
+	}
 
 	failed := false
 	if err := gateGoroutines(baselineGoroutines, *maxGoGrowth); err != nil {

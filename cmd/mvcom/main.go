@@ -39,6 +39,7 @@ func run(args []string) error {
 		algo     = fs.String("algo", "se", "algorithm: se | sa | dp | woa | greedy | brute")
 		gamma    = fs.Int("gamma", 10, "parallel exploration threads Γ (se only)")
 		workers  = fs.Int("workers", 0, "worker goroutines for the SE kernel (0 = GOMAXPROCS, se only)")
+		adaptive = fs.Bool("adaptive", false, "annealed β/Γ schedule driven by convergence diagnostics (se only)")
 		iters    = fs.Int("iters", 8000, "iteration budget")
 		seed     = fs.Int64("seed", 1, "random seed")
 		verbose  = fs.Bool("v", false, "print the full selection")
@@ -70,7 +71,7 @@ func run(args []string) error {
 	if reg != nil {
 		diag = seobs.New(seobs.Config{Registry: reg})
 	}
-	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters, reg, diag)
+	solver, err := pickSolver(*algo, *seed, *gamma, *workers, *iters, *adaptive, reg, diag)
 	if err != nil {
 		return err
 	}
@@ -105,10 +106,10 @@ func run(args []string) error {
 	return nil
 }
 
-func pickSolver(name string, seed int64, gamma, workers, iters int, reg *obs.Registry, diag *seobs.Diag) (core.Solver, error) {
+func pickSolver(name string, seed int64, gamma, workers, iters int, adaptive bool, reg *obs.Registry, diag *seobs.Diag) (core.Solver, error) {
 	switch strings.ToLower(name) {
 	case "se":
-		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters, Obs: obs.NewSEObserver(reg), Diag: diag}), nil
+		return core.NewSE(core.SEConfig{Seed: seed, Gamma: gamma, Workers: workers, MaxIters: iters, Adaptive: adaptive, Obs: obs.NewSEObserver(reg), Diag: diag}), nil
 	case "sa":
 		return baseline.SA{Seed: seed, Iterations: iters}, nil
 	case "dp":

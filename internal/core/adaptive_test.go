@@ -1,0 +1,230 @@
+package core_test
+
+// Acceptance and regression tests for the adaptive β/Γ schedule
+// (SEConfig.Adaptive) and the degenerate hot-path states the fused round
+// loop must survive. External test package so the d_TV pinning can reuse
+// the seobs diagnostics exactly as callers wire them.
+
+import (
+	"math"
+	"testing"
+
+	"mvcom/internal/core"
+	"mvcom/internal/obs"
+	"mvcom/internal/seobs"
+)
+
+// adaptiveDiagInstance mirrors smallDiagInstance: |I| = 12, every
+// within-thread swap feasible, full set infeasible.
+func adaptiveDiagInstance() core.Instance {
+	sizes := []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	lat := make([]float64, len(sizes))
+	for i := range lat {
+		lat[i] = 1
+	}
+	return core.Instance{
+		Sizes:     sizes,
+		Latencies: lat,
+		Alpha:     1.5,
+		Capacity:  total - 10,
+		Nmin:      1,
+	}
+}
+
+// TestAdaptiveDTVPinning is the tentpole acceptance check for the
+// annealed mode: with the schedule on, the sampled visit distribution
+// must still come within d_TV < 0.1 of the enumerated Gibbs target at a
+// Theorem-1-scale budget. The target is rebuilt at every escalation
+// (boosted β_eff, banded cardinality set), so the estimator measures the
+// chain against the law it is actually annealing toward.
+func TestAdaptiveDTVPinning(t *testing.T) {
+	in := adaptiveDiagInstance()
+	diag := seobs.New(seobs.Config{})
+	cfg := core.SEConfig{
+		Seed:              7,
+		Gamma:             4,
+		MaxIters:          30000,
+		ConvergenceWindow: 30000,
+		Adaptive:          true,
+		Diag:              diag,
+	}
+	sol, _, err := core.NewSE(cfg).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := diag.Snapshot()
+	if snap.DTV == nil || !snap.DTV.Enabled {
+		t.Fatal("d_TV estimator not enabled under the adaptive schedule")
+	}
+	if snap.DTV.Samples == 0 {
+		t.Fatal("d_TV estimator collected no dwell samples after the last escalation")
+	}
+	t.Logf("adaptive d_TV %.4f over %d states, %d samples, stage %d (best %.1f)",
+		snap.DTV.Estimate, snap.DTV.States, snap.DTV.Samples, snap.ScheduleStage, sol.Utility)
+	if snap.DTV.Estimate >= 0.1 {
+		t.Fatalf("adaptive d_TV estimate %.4f, want < 0.1", snap.DTV.Estimate)
+	}
+	if snap.ScheduleStage == 0 {
+		t.Fatal("schedule never escalated on a 30k-round stagnating run")
+	}
+	// The annealed chain must still land on the fixed target's mode: the
+	// banded, boosted target's most likely state is the same optimum.
+	fixedDiag := seobs.New(seobs.Config{})
+	fixedCfg := cfg
+	fixedCfg.Adaptive = false
+	fixedCfg.Diag = fixedDiag
+	fsol, _, err := core.NewSE(fixedCfg).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Utility-fsol.Utility) > 1e-9*math.Abs(fsol.Utility) {
+		t.Fatalf("adaptive best %.4f != fixed best %.4f", sol.Utility, fsol.Utility)
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers extends the bit-identity
+// contract to the adaptive mode: schedule decisions are computed by the
+// coordinator from merged state only, so the Workers knob must not
+// change the trajectory.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	in := adaptiveDiagInstance()
+	var wantUtil float64
+	var wantSel []bool
+	for _, workers := range []int{1, 2, 4, 8} {
+		sol, _, err := core.NewSE(core.SEConfig{
+			Seed: 7, Gamma: 8, Workers: workers, MaxIters: 4000, Adaptive: true,
+		}).Solve(in.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantSel == nil {
+			wantUtil, wantSel = sol.Utility, sol.Selected
+			continue
+		}
+		if sol.Utility != wantUtil {
+			t.Fatalf("workers=%d utility %v, want %v", workers, sol.Utility, wantUtil)
+		}
+		for i := range sol.Selected {
+			if sol.Selected[i] != wantSel[i] {
+				t.Fatalf("workers=%d selection differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestAdaptiveUnderChurn runs the schedule through leave/rejoin churn:
+// every dynamic event must reset the ladder (the incumbent band is
+// invalidated), restore the full thread lattice, and keep the run
+// feasible. Exercised with the race detector in CI.
+func TestAdaptiveUnderChurn(t *testing.T) {
+	in := testInstanceForChurn()
+	diag := seobs.New(seobs.Config{})
+	se := core.NewSE(core.SEConfig{
+		Seed: 11, Gamma: 4, MaxIters: 6000, ConvergenceWindow: 6000,
+		Adaptive: true, Diag: diag,
+	})
+	// Leave then rejoin the same shard mid-run; the schedule has had
+	// time to escalate before each event.
+	target := 3
+	events := []core.Event{
+		{AtIteration: 2500, Kind: core.EventLeave, Index: target},
+		{AtIteration: 4500, Kind: core.EventJoin, Index: target,
+			Size: in.Sizes[target], Latency: in.Latencies[target]},
+	}
+	sol, _, err := se.SolveOnline(in.Clone(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Load > in.Capacity {
+		t.Fatalf("solution load %d exceeds capacity %d", sol.Load, in.Capacity)
+	}
+	snap := diag.Snapshot()
+	var schedules, joins, leaves int
+	for _, e := range snap.Events {
+		switch e.Kind {
+		case seobs.EventSchedule:
+			schedules++
+		case "join":
+			joins++
+		case "leave":
+			leaves++
+		}
+	}
+	if joins != 1 || leaves != 1 {
+		t.Fatalf("events: %d joins, %d leaves, want 1/1", joins, leaves)
+	}
+	if schedules == 0 {
+		t.Fatal("schedule never escalated across 6000 rounds of churn")
+	}
+	t.Logf("churn run: %d schedule events, final stage %d, best %.1f",
+		schedules, snap.ScheduleStage, sol.Utility)
+}
+
+// testInstanceForChurn is a 16-shard instance loose enough that leaves
+// and rejoins keep plenty of feasible space.
+func testInstanceForChurn() core.Instance {
+	sizes := make([]int, 16)
+	lat := make([]float64, 16)
+	total := 0
+	for i := range sizes {
+		sizes[i] = 100 + 7*i
+		lat[i] = 1
+		total += sizes[i]
+	}
+	return core.Instance{Sizes: sizes, Latencies: lat, Alpha: 1.5, Capacity: total / 2, Nmin: 1}
+}
+
+// TestProposalStarvationObservable pins the starved-round counter: on an
+// instance where the only active thread's every swap is capacity-
+// infeasible, the run degenerates into a perpetual rearm loop that must
+// now be visible as mvcom_se_proposals_starved.
+func TestProposalStarvationObservable(t *testing.T) {
+	in := core.Instance{
+		Sizes:     []int{1, 5},
+		Latencies: []float64{1, 1},
+		Alpha:     1.5,
+		Capacity:  1, // only {0} is feasible; the 0↔1 swap never fits
+		Nmin:      1,
+	}
+	reg := obs.NewRegistry()
+	seObs := obs.NewSEObserver(reg)
+	sol, _, err := core.NewSE(core.SEConfig{
+		Seed: 3, MaxIters: 200, ConvergenceWindow: 200, Obs: seObs,
+	}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Count != 1 || !sol.Selected[0] {
+		t.Fatalf("solution %+v, want the lone feasible shard 0", sol.Selected)
+	}
+	if got := seObs.ProposalsStarved.Value(); got == 0 {
+		t.Fatal("mvcom_se_proposals_starved stayed 0 through a perpetual rearm loop")
+	}
+}
+
+// TestSingleThreadRace covers the T=1 degenerate race: a two-candidate
+// instance has exactly one solution thread (n=1), so every round the
+// race has a single armed competitor.
+func TestSingleThreadRace(t *testing.T) {
+	in := core.Instance{
+		Sizes:     []int{2, 3},
+		Latencies: []float64{1, 1},
+		Alpha:     1.5,
+		Capacity:  3,
+		Nmin:      1,
+	}
+	sol, _, err := core.NewSE(core.SEConfig{
+		Seed: 5, MaxIters: 500, ConvergenceWindow: 500,
+	}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value ∝ α·s_i with equal latencies: shard 1 wins.
+	if sol.Count != 1 || !sol.Selected[1] {
+		t.Fatalf("solution %+v, want the higher-value shard 1", sol.Selected)
+	}
+}

@@ -160,7 +160,11 @@ func (r *run) applyJoin(ev Event) error {
 		// it.
 		return nil
 	}
+	// The event paths assume the standard thread layout: drop any adaptive
+	// banding/boost before the candidate set mutates.
+	r.resetSchedule()
 	r.candidates = append(r.candidates, idx)
+	r.cards = append(r.cards, len(r.candidates)-1)
 	r.refreshCandidateCaches()
 	r.refreshBetaEff()
 	if r.obs != nil {
@@ -193,6 +197,7 @@ func (r *run) applyLeave(ev Event) error {
 	if pos < 0 {
 		return fmt.Errorf("core: leave event for unknown or already-departed shard %d", ev.Index)
 	}
+	r.resetSchedule()
 	last := len(r.candidates) - 1
 	// Swap-remove the candidate; positions shift for the former tail.
 	r.candidates[pos] = r.candidates[last]
@@ -207,6 +212,15 @@ func (r *run) applyLeave(ev Event) error {
 	for _, ex := range r.explorers {
 		ex.shrinkForLeave(pos, movedFrom)
 	}
+	// The top cardinality disappeared with the candidate.
+	maxN := len(r.candidates) - 1
+	keepCards := r.cards[:0]
+	for _, n := range r.cards {
+		if n <= maxN {
+			keepCards = append(keepCards, n)
+		}
+	}
+	r.cards = keepCards
 	// The recorded bests may reference the departed shard: invalidate and
 	// let the trimmed chain re-discover (the paper's utility dip).
 	r.invalidateBest()
@@ -291,8 +305,9 @@ func (ex *explorer) extendForJoin() {
 	if th.active {
 		ex.offer(th, 0)
 	}
-	ex.logRates = make([]float64, len(ex.threads))
-	ex.weights = make([]float64, len(ex.threads))
+	// Pooled snapshots were sized for the old candidate count.
+	ex.selPool = nil
+	ex.resizeScratch()
 	ex.refreshRateBases()
 	ex.rearm()
 }
@@ -321,8 +336,9 @@ func (ex *explorer) shrinkForLeave(pos, movedFrom int) {
 		keep = append(keep, th)
 	}
 	ex.threads = keep
-	ex.logRates = make([]float64, len(ex.threads))
-	ex.weights = make([]float64, len(ex.threads))
+	// Pooled snapshots were sized for the old candidate count.
+	ex.selPool = nil
+	ex.resizeScratch()
 	ex.refreshRateBases()
 	ex.rearm()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +90,19 @@ type SEConfig struct {
 	// just reach it in fewer rounds. When false, SolveFrom ignores the
 	// previous solution and behaves exactly like Solve.
 	WarmStart bool
+	// Adaptive enables the annealed β/Γ schedule: when the run stops
+	// improving for long stretches the coordinator raises the effective β
+	// (sharpening the Gibbs target) and reallocates the explorer threads
+	// into a cardinality band around the incumbent best |f| (spending the
+	// transition budget where the capacity knee is), driven by the same
+	// merge-time signals internal/seobs measures (stagnation length and
+	// the windowed swap-accept rate). Decisions are taken only at segment
+	// merges from merged coordinator state, so adaptive runs remain
+	// bit-identical across Workers counts; any dynamic join/leave resets
+	// the schedule to stage 0 and restores the full thread lattice. Off by
+	// default — the fixed schedule and its determinism contract are
+	// untouched.
+	Adaptive bool
 	// Seed drives all randomness. Explorers split independent streams
 	// from it.
 	Seed int64
@@ -231,12 +245,47 @@ type run struct {
 	// dynamic event.
 	vals  []float64
 	sizes []int
+	// minLoad[n] is the minimum achievable load of an n-subset (sorted
+	// prefix sums); the exact infeasibility gate of initThread.
+	// sizeOrder is the matching size argsort of candidate positions.
+	minLoad   []int
+	sizeOrder []int
+
+	// cards is the live thread-cardinality lattice shared by every
+	// explorer (one solution thread f_n per entry, identical layout across
+	// explorers — the diagnostics rely on index alignment). The adaptive
+	// schedule narrows it to a band around the incumbent best; dynamic
+	// events restore the full lattice.
+	cards []int
 
 	// betaEff is the effective β used in timer rates: cfg.Beta divided by
-	// the mean per-shard |value| unless normalization is disabled.
-	// halfBeta caches ½·betaEff for the per-round rate computation.
+	// the mean per-shard |value| unless normalization is disabled, times
+	// the adaptive schedule's boost. halfBeta caches ½·betaEff for the
+	// per-round rate computation.
 	betaEff  float64
 	halfBeta float64
+	// betaBoost is the adaptive schedule's multiplicative β escalation
+	// (1 under the fixed schedule).
+	betaBoost float64
+
+	// expVals and invExpVals cache exp(½β·(v_pos − v_max)) and its
+	// reciprocal per candidate position, centered at the maximum value so
+	// every entry lies in (0, 1] and the ratio trick cannot overflow: a
+	// proposal's race weight is expRateBase·expVals[in]·invExpVals[out] =
+	// exp(rateBase + ½β·ΔU) with zero math.Exp calls in the round loop.
+	// Rebuilt whenever β_eff or the candidate set changes.
+	expVals    []float64
+	invExpVals []float64
+	// linearRace is true when the cached-exponential race cannot under- or
+	// overflow (½β·(v_max − v_min) plus the rate-base magnitude stays well
+	// inside float64 range); otherwise the kernel falls back to the
+	// log-space race (raw-β runs at trace utility scale land here).
+	linearRace bool
+
+	// sched is the adaptive β/Γ controller (nil under the fixed
+	// schedule). It is fed merged coordinator state only — never the
+	// diagnostics — so attaching Obs/Diag cannot change the trajectory.
+	sched *seobs.Controller
 
 	// global is the coordinator's view of the best solution; it is only
 	// touched between segments (single-threaded). snap is the published
@@ -271,6 +320,11 @@ func newRun(in *Instance, cfg SEConfig) (*run, error) {
 		obs:        cfg.Obs,
 	}
 	r.global.util = math.Inf(-1)
+	r.betaBoost = 1
+	r.cards = threadCardinalities(len(cands), cfg.MaxThreads)
+	if cfg.Adaptive {
+		r.sched = seobs.NewController(seobs.ControllerConfig{})
+	}
 	r.refreshCandidateCaches()
 	r.refreshBetaEff()
 	r.explorers = make([]*explorer, cfg.Gamma)
@@ -317,7 +371,7 @@ func (r *run) diagInfo() seobs.RunInfo {
 		Nmin:     r.in.Nmin,
 		Sizes:    append([]int(nil), r.sizes...),
 		Values:   append([]float64(nil), r.vals...),
-		Cards:    threadCardinalities(len(r.candidates), r.cfg.MaxThreads),
+		Cards:    append([]int(nil), r.cards...),
 	}
 }
 
@@ -359,11 +413,28 @@ func (r *run) refreshCandidateCaches() {
 		r.vals[pos] = r.in.Value(idx)
 		r.sizes[pos] = r.in.Sizes[idx]
 	}
+	// minLoad[n] is the smallest possible load of an n-subset (prefix
+	// sums of the sorted sizes): minLoad[n] > Capacity proves cardinality
+	// n infeasible, letting initThread skip its retry budget entirely.
+	// sizeOrder is the matching argsort — its first n positions are a
+	// guaranteed-feasible n-subset whenever minLoad[n] ≤ Capacity.
+	r.sizeOrder = make([]int, k)
+	for pos := range r.sizeOrder {
+		r.sizeOrder[pos] = pos
+	}
+	sort.SliceStable(r.sizeOrder, func(a, b int) bool {
+		return r.sizes[r.sizeOrder[a]] < r.sizes[r.sizeOrder[b]]
+	})
+	r.minLoad = make([]int, k+1)
+	for i, pos := range r.sizeOrder {
+		r.minLoad[i+1] = r.minLoad[i] + r.sizes[pos]
+	}
 }
 
-// refreshBetaEff recomputes the effective β from the live candidate set;
-// called at construction and after every dynamic event (after
-// refreshCandidateCaches).
+// refreshBetaEff recomputes the effective β from the live candidate set
+// and the adaptive boost, then rebuilds the cached exponentials the race
+// evaluates from; called at construction, after every dynamic event
+// (after refreshCandidateCaches), and on every schedule escalation.
 func (r *run) refreshBetaEff() {
 	r.betaEff = r.cfg.Beta
 	if !r.cfg.DisableRateNormalization && len(r.vals) > 0 {
@@ -375,7 +446,52 @@ func (r *run) refreshBetaEff() {
 			r.betaEff = rateNormalization * r.cfg.Beta / scale
 		}
 	}
+	r.betaEff *= r.betaBoost
 	r.halfBeta = 0.5 * r.betaEff
+	r.refreshRateCaches()
+}
+
+// linearRaceBudget bounds the exponent magnitude the linear-space race
+// may accumulate (weight spread plus rate base plus the thread-count sum
+// headroom); float64 overflows just above e^709, so 650 leaves room for
+// summing MaxThreads worst-case weights.
+const linearRaceBudget = 650
+
+// refreshRateCaches rebuilds expVals/invExpVals — the per-candidate
+// cached exponentials exp(½β·(v − v_max)) the fused race multiplies
+// instead of exponentiating — and decides whether the linear-space race
+// is numerically safe for the current β_eff and value spread.
+func (r *run) refreshRateCaches() {
+	k := len(r.vals)
+	if cap(r.expVals) < k {
+		r.expVals = make([]float64, k)
+		r.invExpVals = make([]float64, k)
+	}
+	r.expVals = r.expVals[:k]
+	r.invExpVals = r.invExpVals[:k]
+	if k == 0 {
+		r.linearRace = false
+		return
+	}
+	vmax, vmin := r.vals[0], r.vals[0]
+	for _, v := range r.vals[1:] {
+		if v > vmax {
+			vmax = v
+		}
+		if v < vmin {
+			vmin = v
+		}
+	}
+	spread := r.halfBeta * (vmax - vmin)
+	r.linearRace = spread+math.Abs(r.cfg.Tau)+math.Log(float64(k)+1) < linearRaceBudget
+	if !r.linearRace {
+		return
+	}
+	for pos, v := range r.vals {
+		e := math.Exp(r.halfBeta * (v - vmax))
+		r.expVals[pos] = e
+		r.invExpVals[pos] = 1 / e
+	}
 }
 
 // trivial handles the bootstrap condition of Alg. 1 line 1: the stochastic
@@ -523,38 +639,70 @@ func (r *run) mergeSegment(a, b, forcedRound int, trace *[]TracePoint, sinceImpr
 		}
 	}
 	for _, ex := range r.explorers {
+		// Recycle the segment's selection snapshots that nothing retains:
+		// a snapshot stays out of the pool only while it is the global
+		// best or the explorer's local best (the last event). Keeps the
+		// steady-state round loop allocation-free.
+		for _, e := range ex.events {
+			if !sameSnapshot(e.sel, r.global.sel) && !sameSnapshot(e.sel, ex.bestSel) {
+				ex.selPool = append(ex.selPool, e.sel)
+			}
+		}
 		ex.events = ex.events[:0]
 	}
 	r.publishBest()
-	if r.obs != nil || r.diag != nil {
-		// Collect the per-explorer tallies once for both consumers; the
+	var swaps, resets, starved, raceErrs int64
+	if r.obs != nil || r.diag != nil || r.sched != nil {
+		// Collect the per-explorer tallies once for every consumer; the
 		// explorers are quiescent between segments.
-		var swaps, resets int64
 		for _, ex := range r.explorers {
 			swaps += ex.statSwaps
 			resets += ex.statResets
-			ex.statSwaps, ex.statResets = 0, 0
+			starved += ex.statStarved
+			raceErrs += ex.statRaceErr
+			ex.statSwaps, ex.statResets, ex.statStarved, ex.statRaceErr = 0, 0, 0, 0
 		}
 		if r.obs != nil {
-			r.flushObs(a, b, adopted, swaps, resets)
+			r.flushObs(a, b, adopted, swaps, resets, starved, raceErrs)
 		}
 		if r.diag != nil {
-			r.flushDiag(a, b, swaps, resets)
+			r.flushDiag(a, b, swaps, resets, starved, raceErrs)
+		}
+	}
+	if r.sched != nil && !stopped {
+		d, changed := r.sched.Observe(seobs.ControlSignals{
+			Rounds:         b - a,
+			ExplorerRounds: int64(b-a) * int64(len(r.explorers)),
+			Swaps:          swaps,
+			Improved:       anyImproved,
+			HaveBest:       r.global.have,
+		})
+		if changed {
+			r.applySchedule(b, d)
 		}
 	}
 	return stopRound, stopped, anyImproved
 }
 
+// sameSnapshot reports whether two selection snapshots share a backing
+// array (identity, not equality — the recycler must never pool a slice
+// the global or local best still references).
+func sameSnapshot(a, b []bool) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
 // flushObs folds the segment's tallies into the attached observer. Runs
 // single-threaded between segments, so the atomic instruments are
 // touched once per segment, never in the round loop.
-func (r *run) flushObs(a, b int, adopted, swaps, resets int64) {
+func (r *run) flushObs(a, b int, adopted, swaps, resets, starved, raceErrs int64) {
 	o := r.obs
 	rounds := int64(b - a)
 	o.Rounds.Add(rounds)
 	o.ExplorerRounds.Add(rounds * int64(len(r.explorers)))
 	o.Swaps.Add(swaps)
 	o.Resets.Add(resets)
+	o.ProposalsStarved.Add(starved)
+	o.RaceErrors.Add(raceErrs)
 	o.Merges.Inc()
 	o.Improvements.Add(adopted)
 	best := r.globalUtil()
@@ -563,6 +711,12 @@ func (r *run) flushObs(a, b int, adopted, swaps, resets int64) {
 	if resets > 0 {
 		o.Trace.Emit(obs.EvReset, "se", float64(resets), "")
 	}
+	if starved > 0 {
+		o.Trace.Emit(obs.EvReset, "se", float64(starved), "starved")
+	}
+	if raceErrs > 0 {
+		o.Trace.Emit(obs.EvReset, "se", float64(raceErrs), "race-error")
+	}
 	o.Trace.Emit(obs.EvSegmentMerge, "se", best, "")
 }
 
@@ -570,7 +724,7 @@ func (r *run) flushObs(a, b int, adopted, swaps, resets int64) {
 // the probes and records one window carrying the per-cardinality best
 // utilities across explorers (the f_n time-series sample). Runs
 // single-threaded between segments.
-func (r *run) flushDiag(a, b int, swaps, resets int64) {
+func (r *run) flushDiag(a, b int, swaps, resets, starved, raceErrs int64) {
 	pts := r.diagScratch[:0]
 	if len(r.explorers) > 0 {
 		// Explorers share one thread layout (same cardinality list in the
@@ -594,9 +748,128 @@ func (r *run) flushDiag(a, b int, swaps, resets int64) {
 	r.diag.Flush(seobs.FlushArgs{
 		From: a, To: b,
 		Swaps: swaps, Resets: resets,
+		Starved: starved, RaceErrors: raceErrs,
 		BestUtility: r.globalUtil(), HaveBest: r.global.have,
 		Threads: pts,
 	})
+}
+
+// applySchedule enacts one adaptive-schedule decision at a segment
+// boundary: the β boost re-derives β_eff and the cached exponentials,
+// and from stage 1 on the thread lattice narrows to a band around the
+// incumbent best cardinality. Every explorer is re-armed (a schedule
+// change is a RESET — proposals and weights must reflect the new rates).
+// Runs single-threaded between segments, in deterministic explorer
+// order, from merged state only, so adaptive runs stay bit-identical
+// across Workers counts.
+func (r *run) applySchedule(round int, d seobs.Decision) {
+	r.betaBoost = d.BetaBoost
+	r.refreshBetaEff()
+	target := r.scheduleCards(d)
+	if !equalCards(target, r.cards) {
+		r.cards = target
+		for _, ex := range r.explorers {
+			ex.reshapeLattice(target)
+			r.adoptLocal(ex)
+		}
+		r.publishBest()
+	} else {
+		for _, ex := range r.explorers {
+			ex.refreshRateBases()
+			ex.rearm()
+		}
+	}
+	if r.diag != nil {
+		r.diag.RecordSchedule(round, d, r.globalUtil())
+		r.diag.Rebind(r.diagInfo())
+		r.attachProbes()
+	}
+	if r.obs != nil {
+		r.obs.Trace.Emit(obs.EvConvergence, "se", float64(d.Stage), "schedule")
+	}
+}
+
+// scheduleCards maps a schedule decision to the thread-cardinality
+// lattice: stage 0 keeps the full lattice; later stages keep only the
+// cardinalities within a shrinking radius of the incumbent best |f|,
+// never leaving the band empty.
+func (r *run) scheduleCards(d seobs.Decision) []int {
+	full := threadCardinalities(len(r.candidates), r.cfg.MaxThreads)
+	if d.Stage <= 0 || !r.global.have {
+		return full
+	}
+	maxN := len(r.candidates) - 1
+	radius := maxN >> uint(d.Stage+1)
+	if radius < 1 {
+		radius = 1
+	}
+	band := make([]int, 0, len(full))
+	for _, n := range full {
+		if abs(n-r.global.n) <= radius {
+			band = append(band, n)
+		}
+	}
+	if len(band) == 0 {
+		// The incumbent sits between lattice points (or is the full
+		// selection): keep the nearest thread alive.
+		nearest := full[0]
+		for _, n := range full[1:] {
+			if abs(n-r.global.n) < abs(nearest-r.global.n) {
+				nearest = n
+			}
+		}
+		band = append(band, nearest)
+	}
+	return band
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func equalCards(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resetSchedule restores the fixed-schedule state (stage 0, boost 1,
+// full thread lattice) before a dynamic event mutates the candidate set;
+// the event paths assume the standard layout. No-op under the fixed
+// schedule or when nothing escalated yet.
+func (r *run) resetSchedule() {
+	if r.sched == nil {
+		return
+	}
+	r.sched.Reset()
+	full := threadCardinalities(len(r.candidates), r.cfg.MaxThreads)
+	boosted := r.betaBoost != 1
+	if boosted {
+		r.betaBoost = 1
+		r.refreshBetaEff()
+	}
+	if !equalCards(full, r.cards) {
+		r.cards = full
+		for _, ex := range r.explorers {
+			ex.reshapeLattice(full)
+			r.adoptLocal(ex)
+		}
+		r.publishBest()
+	} else if boosted {
+		for _, ex := range r.explorers {
+			ex.refreshRateBases()
+			ex.rearm()
+		}
+	}
 }
 
 // adoptLocal folds one explorer's local best into the global tracker;
@@ -681,14 +954,27 @@ type improvement struct {
 // everything it mutates (threads, RNG, local best, event log, scratch)
 // lives here, never on the run.
 type explorer struct {
-	run   *run
-	rng   *randx.RNG
+	run *run
+	rng *randx.RNG
+	// draw serves the hot-loop samples (one race uniform plus one
+	// proposal word per thread per round) from block-buffered words of
+	// rng; cold paths (initialization, local-best resets) keep drawing
+	// from rng directly.
+	draw  *randx.Buffered
 	probe *seobs.Probe
 
 	threads []*thread
-	// logRates and weights are scratch space for the per-round timer race.
-	logRates []float64
-	weights  []float64
+	// expRateBases, weights, and logRates are the structure-of-arrays
+	// view of the race-relevant thread state, index-aligned with threads:
+	// expRateBases[i] caches exp(rateBase_i) = (|I|−n_i)·e^{−τ}; weights
+	// is filled by the fused rearm pass (linear race) or per round (log
+	// fallback); logRates only serves the log-space fallback.
+	expRateBases []float64
+	weights      []float64
+	logRates     []float64
+	// weightSum is the running Σ weights maintained by the fused rearm —
+	// the race's total rate, ready before the round starts.
+	weightSum float64
 
 	// Local best tracker (sharded global best): merged into run.global at
 	// sync points via the events log.
@@ -698,11 +984,30 @@ type explorer struct {
 	haveBest bool
 	events   []improvement
 
-	// statSwaps and statResets are plain per-segment tallies (each
-	// explorer is owned by one goroutine during a segment); the run
-	// flushes them into the attached observer at merge time.
-	statSwaps  int64
-	statResets int64
+	// selPool recycles selection snapshots whose improvement events were
+	// merged and superseded, keeping offer() allocation-free at steady
+	// state; invalidated (dropped) whenever the candidate count changes.
+	selPool [][]bool
+	// initIdx, initSwaps, and initPicks are the reused Fisher-Yates
+	// scratch of initThread: initIdx holds the identity permutation
+	// between calls, initSwaps the swap log that restores it after each
+	// attempt, and initPicks the greedy fallback's selection (thread
+	// construction retries dominate solve setup without them).
+	initIdx   []int
+	initSwaps []int
+	initPicks []int
+
+	// statSwaps, statResets, statStarved, and statRaceErr are plain
+	// per-segment tallies (each explorer is owned by one goroutine during
+	// a segment); the run flushes them into the attached observer at
+	// merge time. statStarved counts rounds where no thread had an armed
+	// proposal (every Set-timer retry budget exhausted); statRaceErr
+	// counts rounds the race itself failed to pick a winner (degenerate
+	// weights). Both kinds of round fall through to a plain re-arm.
+	statSwaps   int64
+	statResets  int64
+	statStarved int64
+	statRaceErr int64
 }
 
 // thread is one parallel feasible solution f_n with its proposed swap.
@@ -721,7 +1026,8 @@ type thread struct {
 
 	// rateBase caches log(|I_j| − n) − τ, the proposal-independent part of
 	// the thread's log timer rate; refreshed whenever the candidate count
-	// changes (join/leave), never in the hot loop.
+	// changes (join/leave), never in the hot loop. The linear-space race
+	// uses its exponential from the explorer's expRateBases array.
 	rateBase float64
 
 	// Current proposal (Set-timer, Alg. 3): swap out selIdx ĩ for
@@ -734,22 +1040,29 @@ type thread struct {
 }
 
 func newExplorer(r *run, rng *randx.RNG) *explorer {
-	ex := &explorer{run: r, rng: rng, bestUtil: math.Inf(-1)}
-	k := len(r.candidates)
-	cards := threadCardinalities(k, r.cfg.MaxThreads)
-	ex.threads = make([]*thread, 0, len(cards))
-	for _, n := range cards {
+	ex := &explorer{run: r, rng: rng, draw: randx.NewBuffered(rng), bestUtil: math.Inf(-1)}
+	ex.threads = make([]*thread, 0, len(r.cards))
+	for _, n := range r.cards {
 		th := ex.initThread(n)
 		ex.threads = append(ex.threads, th)
 		if th.active {
 			ex.offer(th, 0)
 		}
 	}
-	ex.logRates = make([]float64, len(ex.threads))
-	ex.weights = make([]float64, len(ex.threads))
+	ex.resizeScratch()
 	ex.refreshRateBases()
 	ex.rearm()
 	return ex
+}
+
+// resizeScratch (re)allocates the structure-of-arrays race state to the
+// current thread count; called at construction and whenever the thread
+// layout changes (joins, leaves, schedule reshapes), never per round.
+func (ex *explorer) resizeScratch() {
+	n := len(ex.threads)
+	ex.expRateBases = make([]float64, n)
+	ex.weights = make([]float64, n)
+	ex.logRates = make([]float64, n)
 }
 
 // threadCardinalities returns the cardinalities that receive a solution
@@ -783,26 +1096,106 @@ func threadCardinalities(k, maxThreads int) []int {
 // satisfies the capacity constraint, giving up after InitRetries attempts
 // (the cardinality is then inactive — equivalent to the trimmed state
 // space of Section V).
+// initUniformAttempts caps the uniform rejection-sampling phase of
+// initThread and initGreedyAttempts its greedy fallback; past both, the
+// n smallest candidates seed the thread deterministically. The ladder
+// bounds construction at O(attempts·draws + k) where the old
+// InitRetries-bounded rejection loop could burn 200 full-width samples
+// per tight thread — and it never abandons a feasible cardinality.
+const (
+	initUniformAttempts = 8
+	initGreedyAttempts  = 4
+)
+
 func (ex *explorer) initThread(n int) *thread {
 	r := ex.run
 	k := len(r.candidates)
 	th := &thread{n: n}
-	for attempt := 0; attempt < r.cfg.InitRetries; attempt++ {
-		pick, err := ex.rng.SampleWithoutReplacement(k, n)
-		if err != nil {
-			break
-		}
-		load := 0
-		for _, pos := range pick {
-			load += r.sizes[pos]
-		}
-		if load > r.in.Capacity {
-			continue
-		}
-		th.adopt(r, pick)
-		th.active = true
+	if n > k || r.minLoad[n] > r.in.Capacity {
+		// Even the n smallest candidates exceed capacity: cardinality n
+		// is infeasible, no sample can succeed.
 		return th
 	}
+	if cap(ex.initIdx) < k {
+		ex.initIdx = make([]int, k)
+		for i := range ex.initIdx {
+			ex.initIdx[i] = i
+		}
+		ex.initSwaps = make([]int, 0, k)
+		ex.initPicks = make([]int, 0, k)
+	}
+	// idx holds the identity permutation between attempts (restored by
+	// undoing the swaps each partial Fisher-Yates made, which is O(draws)
+	// instead of an O(k) rewrite per attempt).
+	idx := ex.initIdx[:k]
+	uniform := r.cfg.InitRetries
+	if uniform > initUniformAttempts {
+		uniform = initUniformAttempts
+	}
+	for attempt := 0; attempt < uniform; attempt++ {
+		// Partial Fisher-Yates, aborting as soon as the running load
+		// exceeds capacity: any prefix over capacity dooms the full
+		// sample (sizes are non-negative), so the accepted distribution
+		// is still uniform over feasible n-subsets.
+		swaps := ex.initSwaps[:0]
+		load := 0
+		for i := 0; i < n; i++ {
+			j := i + ex.draw.Intn(k-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			swaps = append(swaps, j)
+			load += r.sizes[idx[i]]
+			if load > r.in.Capacity {
+				break
+			}
+		}
+		ok := len(swaps) == n && load <= r.in.Capacity
+		if ok {
+			th.adopt(r, idx[:n])
+			th.active = true
+		}
+		for i := len(swaps) - 1; i >= 0; i-- {
+			idx[i], idx[swaps[i]] = idx[swaps[i]], idx[i]
+		}
+		ex.initSwaps = swaps[:0]
+		if ok {
+			return th
+		}
+	}
+	// Greedy fallback for tight instances: walk one random permutation
+	// and take every candidate that still fits. Mildly biased toward
+	// small candidates, but the chain forgets its start state — and a
+	// diverse active thread beats an abandoned one.
+	for attempt := 0; attempt < initGreedyAttempts; attempt++ {
+		swaps := ex.initSwaps[:0]
+		picks := ex.initPicks[:0]
+		load := 0
+		for i := 0; i < k && len(picks) < n; i++ {
+			j := i + ex.draw.Intn(k-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			swaps = append(swaps, j)
+			if pos := idx[i]; load+r.sizes[pos] <= r.in.Capacity {
+				load += r.sizes[pos]
+				picks = append(picks, pos)
+			}
+		}
+		ok := len(picks) == n
+		if ok {
+			th.adopt(r, picks)
+			th.active = true
+		}
+		for i := len(swaps) - 1; i >= 0; i-- {
+			idx[i], idx[swaps[i]] = idx[swaps[i]], idx[i]
+		}
+		ex.initSwaps, ex.initPicks = swaps[:0], picks[:0]
+		if ok {
+			return th
+		}
+	}
+	// Deterministic last resort: the n smallest candidates, feasible by
+	// the minLoad gate above. Every feasible cardinality therefore
+	// always activates its thread.
+	th.adopt(r, r.sizeOrder[:n])
+	th.active = true
 	return th
 }
 
@@ -837,16 +1230,19 @@ func (th *thread) adopt(r *run, pick []int) {
 }
 
 // refreshRateBases recomputes every thread's cached log(|I_j| − n) − τ
-// term; called after construction and after every join/leave (the only
-// times k changes).
+// term and its exponential (|I_j| − n)·e^{−τ} in the structure-of-arrays
+// race state; called after construction, after every join/leave (the
+// only times k changes), and on schedule reshapes.
 func (ex *explorer) refreshRateBases() {
 	k := len(ex.run.candidates)
-	tau := ex.run.cfg.Tau
-	for _, th := range ex.threads {
+	expNegTau := math.Exp(-ex.run.cfg.Tau)
+	for i, th := range ex.threads {
 		if k > th.n {
-			th.rateBase = math.Log(float64(k-th.n)) - tau
+			th.rateBase = math.Log(float64(k-th.n)) - ex.run.cfg.Tau
+			ex.expRateBases[i] = float64(k-th.n) * expNegTau
 		} else {
 			th.rateBase = math.Inf(-1)
+			ex.expRateBases[i] = 0
 		}
 	}
 }
@@ -855,9 +1251,9 @@ func (ex *explorer) refreshRateBases() {
 // random unselected shard ï, estimate the utility after swapping, and arm
 // the exponential timer with mean exp(τ − ½β(U_f' − U_f)) / (|I_j| − n).
 // Swaps that would violate the capacity constraint are resampled a bounded
-// number of times. The (ĩ, ï) pair is drawn from a single 64-bit draw
-// (PairIntn) — the proposal distribution is the same independent uniform
-// pair as two Intn calls.
+// number of times. The (ĩ, ï) pair is drawn from a single block-buffered
+// 64-bit draw (PairIntn) — the proposal distribution is the same
+// independent uniform pair as two Intn calls.
 func (ex *explorer) setTimer(th *thread) {
 	r := ex.run
 	th.proposalOK = false
@@ -867,7 +1263,7 @@ func (ex *explorer) setTimer(th *thread) {
 	}
 	slack := r.in.Capacity - th.load
 	for attempt := 0; attempt < r.cfg.SwapRetries; attempt++ {
-		oi, ii := ex.rng.PairIntn(nSel, nUns)
+		oi, ii := ex.draw.PairIntn(nSel, nUns)
 		outPos := th.selIdx[oi]
 		inPos := th.unselIdx[ii]
 		if r.sizes[inPos]-r.sizes[outPos] > slack {
@@ -882,19 +1278,67 @@ func (ex *explorer) setTimer(th *thread) {
 }
 
 // rearm refreshes every active thread's timer — the RESET broadcast of
-// Alg. 1 lines 19–20. Proposal freshness is load-bearing: if losers kept
-// their proposals until they won, the per-thread distribution of executed
-// swaps would collapse to uniform (a proposal's low win rate is exactly
-// compensated by the rounds it survives), erasing the Gibbs bias the
-// rates encode. The hot-path savings are taken on the race side instead,
-// where memorylessness makes them exact.
+// Alg. 1 lines 19–20 — and, on the linear-space path, evaluates each
+// fresh proposal's race weight in the same pass from the cached
+// aggregates: weight = expRateBases[i]·expVals[ï]·invExpVals[ĩ] =
+// exp(rateBase + ½β·ΔU), with the running total kept alongside. The next
+// round's race is then a single uniform draw and a partial CDF walk —
+// the former per-round log-rate and exponentiation sweeps are gone.
+//
+// Proposal freshness is load-bearing: if losers kept their proposals
+// until they won, the per-thread distribution of executed swaps would
+// collapse to uniform (a proposal's low win rate is exactly compensated
+// by the rounds it survives), erasing the Gibbs bias the rates encode.
+// The hot-path savings are taken on the race side instead, where
+// memorylessness makes them exact.
 func (ex *explorer) rearm() {
 	ex.statResets++
-	for _, th := range ex.threads {
-		if th.active {
-			ex.setTimer(th)
+	r := ex.run
+	if !r.linearRace {
+		for _, th := range ex.threads {
+			if th.active {
+				ex.setTimer(th)
+			}
 		}
+		return
 	}
+	// The linear path open-codes setTimer so the proposal draw, the
+	// feasibility check, and the weight evaluation share one pass over
+	// hoisted locals — the per-thread call and the re-loads of the shared
+	// caches are what the profile charges for otherwise.
+	expVals, invExpVals := r.expVals, r.invExpVals
+	sizes, vals := r.sizes, r.vals
+	capacity, retries := r.in.Capacity, r.cfg.SwapRetries
+	draw := ex.draw
+	sum := 0.0
+	for i, th := range ex.threads {
+		w := 0.0
+		if th.active {
+			th.proposalOK = false
+			selIdx, unselIdx := th.selIdx, th.unselIdx
+			nSel, nUns := len(selIdx), len(unselIdx)
+			if nSel > 0 && nUns > 0 {
+				slack := capacity - th.load
+				for attempt := 0; attempt < retries; attempt++ {
+					oi, ii := draw.PairIntn(nSel, nUns)
+					outPos := selIdx[oi]
+					inPos := unselIdx[ii]
+					if sizes[inPos]-sizes[outPos] > slack {
+						continue
+					}
+					th.out = outPos
+					th.in = inPos
+					th.dU = vals[inPos] - vals[outPos]
+					th.proposalOK = true
+					w = ex.expRateBases[i] * expVals[inPos] * invExpVals[outPos]
+					break
+				}
+			}
+		}
+		ex.weights[i] = w
+		sum += w
+	}
+	ex.weightSum = sum
 }
 
 // stepRound performs one transition round: every armed timer races, the
@@ -904,14 +1348,70 @@ func (ex *explorer) rearm() {
 // round number for the coordinator's deterministic merge.
 //
 // The race resolves the minimum of exponential clocks by categorical
-// sampling: P(win) ∝ rate = exp(rateBase + ½β·ΔU). Weights are
-// exponentiated after subtracting the max log rate (no overflow) and the
-// winner is drawn by CDF inversion from a single uniform — statistically
-// identical to the former Gumbel-max race (T uniforms and 2T logs per
-// round) since both sample the exact same categorical distribution. The
-// race's elapsed time is never consumed (rounds are the clock), so it is
-// not sampled.
+// sampling: P(win) ∝ rate = exp(rateBase + ½β·ΔU). On the default
+// linear-space path the weights and their sum were already evaluated by
+// the fused rearm pass from the cached per-candidate exponentials, so
+// the race is one uniform draw and a partial CDF walk — no per-round
+// sweep, no math.Exp, statistically identical to the former max-centered
+// exponentiation (both sample the exact same categorical distribution).
+// When the value spread puts the ratio trick outside float64 range the
+// log-space fallback re-derives the weights per round exactly as before.
+// The race's elapsed time is never consumed (rounds are the clock), so
+// it is not sampled.
 func (ex *explorer) stepRound(round int) {
+	if !ex.run.linearRace {
+		ex.stepRoundLog(round)
+		return
+	}
+	total := ex.weightSum
+	if !(total > 0) || math.IsInf(total, 1) {
+		// total == 0: no armed proposal anywhere (every Set-timer retry
+		// budget exhausted) — a starved round. NaN/Inf: degenerate
+		// weights the CDF walk cannot resolve. Both re-arm and hope a
+		// future round finds feasible swaps.
+		if total == 0 {
+			ex.statStarved++
+		} else {
+			ex.statRaceErr++
+		}
+		ex.rearm()
+		return
+	}
+	target := ex.draw.Float64() * total
+	winner := -1
+	for i, w := range ex.weights {
+		if w <= 0 {
+			continue
+		}
+		target -= w
+		if target <= 0 {
+			winner = i
+			break
+		}
+	}
+	if winner < 0 {
+		// Floating-point slack: the partial sums rounded below the total;
+		// take the last positive-weight thread, mirroring WeightedPick.
+		for i := len(ex.weights) - 1; i >= 0; i-- {
+			if ex.weights[i] > 0 {
+				winner = i
+				break
+			}
+		}
+		if winner < 0 {
+			ex.statRaceErr++
+			ex.rearm()
+			return
+		}
+	}
+	ex.finishRound(winner, round)
+}
+
+// stepRoundLog is the numerically hardened race for instances whose
+// ½β·ΔU range exceeds the linear-space budget: log rates are swept, the
+// max subtracted, and the weights exponentiated per round — the
+// pre-cache kernel, kept as the fallback.
+func (ex *explorer) stepRoundLog(round int) {
 	h := ex.run.halfBeta
 	maxLR := math.Inf(-1)
 	for i, th := range ex.threads {
@@ -926,7 +1426,7 @@ func (ex *explorer) stepRound(round int) {
 	}
 	if math.IsInf(maxLR, -1) {
 		// No timer can fire: all threads inactive or proposal-less.
-		// Re-arm and hope a future round finds feasible swaps.
+		ex.statStarved++
 		ex.rearm()
 		return
 	}
@@ -939,9 +1439,16 @@ func (ex *explorer) stepRound(round int) {
 	}
 	winner, err := ex.rng.WeightedPick(ex.weights)
 	if err != nil {
+		ex.statRaceErr++
 		ex.rearm()
 		return
 	}
+	ex.finishRound(winner, round)
+}
+
+// finishRound executes the race winner's swap, records it, offers the
+// result to the local best, and re-arms every timer for the next round.
+func (ex *explorer) finishRound(winner, round int) {
 	th := ex.threads[winner]
 	th.applySwap(ex.run)
 	ex.statSwaps++
@@ -954,12 +1461,25 @@ func (ex *explorer) stepRound(round int) {
 
 // stepBatch advances the explorer through rounds (a, b]. When the d_TV
 // estimator is live the loop records one dwell sample per thread per
-// round; otherwise it is the plain hot loop.
+// round, weighted by the round's expected holding time 1/Σw so the
+// histogram estimates continuous-time occupancy rather than the
+// embedded jump chain's (the two diverge once the schedule boosts β —
+// the chain then sits at the mode with a tiny total rate while the jump
+// chain keeps executing one swap per round). On the linear race path
+// the weights are true rates — the centering term cancels in the
+// exp-ratio — so 1/ex.weightSum is exact; the log-rate fallback keeps
+// weight 1, which only arises at exponent scales the pinning tests
+// never reach. Otherwise it is the plain hot loop.
 func (ex *explorer) stepBatch(a, b int) {
 	if p := ex.probe; p.TracksVisits() {
+		linear := ex.run.linearRace
 		for round := a + 1; round <= b; round++ {
 			ex.stepRound(round)
-			p.RecordRound()
+			w := 1.0
+			if linear && ex.weightSum > 0 {
+				w = 1 / ex.weightSum
+			}
+			p.RecordRound(w)
 		}
 		return
 	}
@@ -984,7 +1504,17 @@ func (ex *explorer) offer(th *thread, round int) bool {
 	if ex.haveBest && th.util <= ex.bestUtil {
 		return false
 	}
-	snap := append([]bool(nil), th.selected...)
+	var snap []bool
+	if n := len(ex.selPool); n > 0 {
+		// Pool slices always match the live candidate count (the pool is
+		// dropped whenever it changes), so a recycled snapshot is a copy
+		// destination, not an allocation.
+		snap = ex.selPool[n-1]
+		ex.selPool = ex.selPool[:n-1]
+		copy(snap, th.selected)
+	} else {
+		snap = append([]bool(nil), th.selected...)
+	}
 	ex.bestSel = snap
 	ex.bestUtil = th.util
 	ex.bestN = th.n
@@ -993,6 +1523,35 @@ func (ex *explorer) offer(th *thread, round int) bool {
 		ex.events = append(ex.events, improvement{round: round, util: th.util, n: th.n, sel: snap})
 	}
 	return true
+}
+
+// reshapeLattice rebuilds the explorer's solution threads against a new
+// cardinality lattice (the adaptive schedule narrowing to a band, or a
+// dynamic event restoring the full set): threads whose cardinality
+// survives keep their state — their current selection is hard-won
+// progress — while new cardinalities initialize from scratch. Runs only
+// at sync points, in deterministic thread order.
+func (ex *explorer) reshapeLattice(cards []int) {
+	byN := make(map[int]*thread, len(ex.threads))
+	for _, th := range ex.threads {
+		byN[th.n] = th
+	}
+	threads := make([]*thread, 0, len(cards))
+	for _, n := range cards {
+		if th, ok := byN[n]; ok {
+			threads = append(threads, th)
+			continue
+		}
+		th := ex.initThread(n)
+		threads = append(threads, th)
+		if th.active {
+			ex.offer(th, 0)
+		}
+	}
+	ex.threads = threads
+	ex.resizeScratch()
+	ex.refreshRateBases()
+	ex.rearm()
 }
 
 // resetLocalBest drops the explorer's local best (its stored positions

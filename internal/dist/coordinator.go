@@ -67,6 +67,10 @@ type CoordinatorConfig struct {
 	// SEWorkers bounds the goroutines each worker's kernel spreads its
 	// explorers over (core.SEConfig.Workers); zero means GOMAXPROCS.
 	SEWorkers int
+	// Adaptive turns on the annealed β/Γ schedule in every worker's
+	// kernel and in the coordinator's local-fallback solver
+	// (core.SEConfig.Adaptive).
+	Adaptive bool
 	// Events are pushed to all workers at the given wall-clock offsets
 	// after the run starts.
 	Events []TimedEvent
@@ -323,6 +327,7 @@ func (co *Coordinator) task(g int) Task {
 		Seed:          co.cfg.Seed + int64(g)*7919,
 		Gamma:         co.cfg.Gamma,
 		SEWorkers:     co.cfg.SEWorkers,
+		Adaptive:      co.cfg.Adaptive,
 		ReportEvery:   co.cfg.ReportEvery,
 		MaxIterations: co.cfg.MaxIterations,
 	}
@@ -343,6 +348,7 @@ func (co *Coordinator) localSolve(inst core.Instance) (core.Solution, error) {
 		Seed:     co.cfg.Seed,
 		Gamma:    co.cfg.Gamma,
 		Workers:  co.cfg.SEWorkers,
+		Adaptive: co.cfg.Adaptive,
 		MaxIters: co.cfg.MaxIterations,
 	}).Solve(local)
 	return sol, err

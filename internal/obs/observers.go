@@ -23,6 +23,14 @@ type SEObserver struct {
 	// Joins and Leaves count dynamic candidate events applied.
 	Joins  *Counter
 	Leaves *Counter
+	// ProposalsStarved counts rounds where no thread had an armed swap
+	// proposal (every Set-timer draw exhausted SwapRetries), so the race
+	// degenerated into a bare re-arm.
+	ProposalsStarved *Counter
+	// RaceErrors counts timer races that failed to pick a winner
+	// (weighted-pick error / non-finite weight mass) and fell through to
+	// a re-arm.
+	RaceErrors *Counter
 	// BestUtility tracks the current global best utility.
 	BestUtility *Gauge
 	// Trace receives EvSERound / EvSwapAccept / EvReset /
@@ -37,16 +45,18 @@ func NewSEObserver(reg *Registry) *SEObserver {
 		return nil
 	}
 	return &SEObserver{
-		Rounds:         reg.Counter("mvcom_se_rounds_total", "SE transition rounds advanced"),
-		ExplorerRounds: reg.Counter("mvcom_se_explorer_rounds_total", "per-explorer SE rounds advanced (rounds x gamma)"),
-		Swaps:          reg.Counter("mvcom_se_swaps_total", "accepted swap transitions"),
-		Resets:         reg.Counter("mvcom_se_resets_total", "RESET broadcasts re-arming solution threads"),
-		Merges:         reg.Counter("mvcom_se_segment_merges_total", "explorer-segment merges at sync points"),
-		Improvements:   reg.Counter("mvcom_se_improvements_total", "global-best improvements adopted"),
-		Joins:          reg.Counter("mvcom_se_events_total{kind=\"join\"}", "dynamic candidate events applied"),
-		Leaves:         reg.Counter("mvcom_se_events_total{kind=\"leave\"}", "dynamic candidate events applied"),
-		BestUtility:    reg.Gauge("mvcom_se_best_utility", "current global best utility"),
-		Trace:          reg.Tracer(),
+		Rounds:           reg.Counter("mvcom_se_rounds_total", "SE transition rounds advanced"),
+		ExplorerRounds:   reg.Counter("mvcom_se_explorer_rounds_total", "per-explorer SE rounds advanced (rounds x gamma)"),
+		Swaps:            reg.Counter("mvcom_se_swaps_total", "accepted swap transitions"),
+		Resets:           reg.Counter("mvcom_se_resets_total", "RESET broadcasts re-arming solution threads"),
+		Merges:           reg.Counter("mvcom_se_segment_merges_total", "explorer-segment merges at sync points"),
+		Improvements:     reg.Counter("mvcom_se_improvements_total", "global-best improvements adopted"),
+		Joins:            reg.Counter("mvcom_se_events_total{kind=\"join\"}", "dynamic candidate events applied"),
+		Leaves:           reg.Counter("mvcom_se_events_total{kind=\"leave\"}", "dynamic candidate events applied"),
+		ProposalsStarved: reg.Counter("mvcom_se_proposals_starved", "rounds with no armed swap proposal (Set-timer retries exhausted)"),
+		RaceErrors:       reg.Counter("mvcom_se_race_errors", "timer races that failed to pick a winner"),
+		BestUtility:      reg.Gauge("mvcom_se_best_utility", "current global best utility"),
+		Trace:            reg.Tracer(),
 	}
 }
 

@@ -1,0 +1,117 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBufferedDeterministic(t *testing.T) {
+	a := NewBuffered(New(42))
+	b := NewBuffered(New(42))
+	for i := 0; i < 3*bufferedWords; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("streams diverge at draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestBufferedNeverConsumesParent(t *testing.T) {
+	// Construction takes exactly one parent word; after that the stream
+	// is pure counter arithmetic, so the parent's trajectory must match
+	// a control RNG that also gave up one word.
+	parent := New(7)
+	buf := NewBuffered(parent)
+	control := New(7)
+	control.Uint64()
+	for i := 0; i < 4*bufferedWords; i++ {
+		buf.Uint64()
+	}
+	for i := 0; i < 16; i++ {
+		if p, c := parent.Uint64(), control.Uint64(); p != c {
+			t.Fatalf("parent stream perturbed at draw %d: %d != %d", i, p, c)
+		}
+	}
+}
+
+func TestBufferedDecorrelatedFromParent(t *testing.T) {
+	parent := New(11)
+	buf := NewBuffered(parent)
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if buf.Uint64() == parent.Uint64() {
+			matches++
+		}
+	}
+	if matches != 0 {
+		t.Fatalf("%d identical draws between parent and derived stream", matches)
+	}
+}
+
+func TestBufferedFloat64Range(t *testing.T) {
+	b := NewBuffered(New(3))
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := b.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestBufferedIntnUniform(t *testing.T) {
+	b := NewBuffered(New(5))
+	const bound, n = 13, 130000
+	counts := make([]int, bound)
+	for i := 0; i < n; i++ {
+		v := b.Intn(bound)
+		if v < 0 || v >= bound {
+			t.Fatalf("Intn(%d) = %d out of range", bound, v)
+		}
+		counts[v]++
+	}
+	want := float64(n) / bound
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ~%.0f", bound, v, c, want)
+		}
+	}
+}
+
+func TestBufferedPairIntnRange(t *testing.T) {
+	b := NewBuffered(New(9))
+	for i := 0; i < 10000; i++ {
+		x, y := b.PairIntn(7, 19)
+		if x < 0 || x >= 7 || y < 0 || y >= 19 {
+			t.Fatalf("PairIntn(7, 19) = (%d, %d) out of range", x, y)
+		}
+	}
+}
+
+func TestBufferedPanicsOnBadBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		call func(*Buffered)
+	}{
+		{"Intn zero", func(b *Buffered) { b.Intn(0) }},
+		{"Intn negative", func(b *Buffered) { b.Intn(-3) }},
+		{"Intn huge", func(b *Buffered) { b.Intn(1<<31 + 1) }},
+		{"PairIntn zero x", func(b *Buffered) { b.PairIntn(0, 5) }},
+		{"PairIntn zero y", func(b *Buffered) { b.PairIntn(5, 0) }},
+		{"PairIntn huge", func(b *Buffered) { b.PairIntn(5, 1<<31+1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.call(NewBuffered(New(1)))
+		})
+	}
+}

@@ -310,6 +310,88 @@ func (r *RNG) SampleWithoutReplacement(n, k int) ([]int, error) {
 	return idx[:k:k], nil
 }
 
+// bufferedWords is the refill block of a Buffered stream: large enough to
+// amortize the per-word source dispatch over a whole SE transition round
+// (one race uniform plus one proposal word per solution thread), small
+// enough to stay in one cache line pair.
+const bufferedWords = 64
+
+// Buffered is a block-buffered hot-loop stream split off an RNG: at
+// construction it derives an independent SplitMix64 state from one source
+// draw (the same decorrelation Split uses) and thereafter refills its
+// buffer with pure counter arithmetic — no interface dispatch, no calls
+// into math/rand at all. The stream is a pure function of the parent
+// RNG's state at construction, so determinism carries over unchanged.
+//
+// Like RNG, a Buffered is not safe for concurrent use. Because the
+// stream is derived once rather than interleaved, draws through the
+// Buffered never consume from the parent RNG, which lets the SE kernel
+// batch its per-round draws while cold paths (initialization, splitting)
+// keep using the parent without the two streams perturbing each other.
+type Buffered struct {
+	state uint64
+	buf   [bufferedWords]uint64
+	pos   int
+}
+
+// NewBuffered derives a block-buffered stream from src, consuming one
+// word of src (exactly like Split).
+func NewBuffered(src *RNG) *Buffered {
+	return &Buffered{state: splitMix64(src.Uint64()), pos: bufferedWords}
+}
+
+// Uint64 returns the next buffered word, refilling in a block when the
+// buffer drains. The refill is SplitMix64 in counter mode: the golden-
+// ratio Weyl sequence through the finalizer, which passes BigCrush and
+// costs ~1ns per word.
+func (b *Buffered) Uint64() uint64 {
+	if b.pos == bufferedWords {
+		s := b.state
+		for i := range b.buf {
+			s += 0x9e3779b97f4a7c15
+			x := s
+			x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+			x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+			b.buf[i] = x ^ (x >> 31)
+		}
+		b.state = s
+		b.pos = 0
+	}
+	u := b.buf[b.pos]
+	b.pos++
+	return u
+}
+
+// Float64 returns a uniform sample in [0, 1) built from the top 53 bits
+// of one buffered word (branch-free, unlike math/rand's rejection loop).
+func (b *Buffered) Float64() float64 {
+	return float64(b.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n) from one buffered word via the
+// Lemire multiply-shift (no rejection step; the bias is at most 2⁻³² per
+// outcome, far below statistical detectability for the bounds used
+// here). Panics if n is outside [1, 2³¹], matching Intn's contract.
+func (b *Buffered) Intn(n int) int {
+	if n <= 0 || n > 1<<31 {
+		panic("randx: Intn bound out of range")
+	}
+	return int((uint64(uint32(b.Uint64()>>32)) * uint64(n)) >> 32)
+}
+
+// PairIntn is RNG.PairIntn served from one buffered word: two independent
+// uniforms in [0, a) and [0, b) via the Lemire multiply-shift on the high
+// and low 32 bits. Panics if either bound is outside [1, 2³¹].
+func (b *Buffered) PairIntn(x, y int) (int, int) {
+	if x <= 0 || y <= 0 || x > 1<<31 || y > 1<<31 {
+		panic("randx: PairIntn bounds out of range")
+	}
+	u := b.Uint64()
+	hi := int((uint64(uint32(u>>32)) * uint64(x)) >> 32)
+	lo := int((uint64(uint32(u)) * uint64(y)) >> 32)
+	return hi, lo
+}
+
 // Zipf returns a sampler of Zipf-distributed values in [0, n) with
 // exponent s > 1 — the standard model for skewed account popularity.
 // Invalid parameters return nil.

@@ -20,37 +20,53 @@ import (
 // measures each component against its conditional target and recombines
 // with the target's own cardinality marginal π*(n):
 //
-//	d̂_TV = Σ_n π*(n) · d_TV(visits_n / |visits_n|, p*|_n)
+//	d̂_TV = Σ_n π*(n) · d_TV(visits_n / mass_n, p*|_n)
 //
 // which equals d_TV(p̂, p*) for the reweighted visit distribution
-// p̂(f) = π*(|f|)·visits_{|f|}(f)/|visits_{|f|}| — i.e. the empirical
+// p̂(f) = π*(|f|)·visits_{|f|}(f)/mass_{|f|} — i.e. the empirical
 // visit distribution with its cardinality marginal calibrated to the
-// target's. Classes without samples (inactive cardinality) count their
-// full weight as distance, so d̂_TV starts at 1 and can only fall as
-// evidence accumulates.
+// target's. visits_n is the *dwell-weighted* occupancy: each round's
+// sample carries weight 1/Σw, the expected holding time before the next
+// race fires (see Probe.RecordRound). Raw per-round counts measure the
+// embedded jump chain, whose occupancy is ∝ p*(f)·Σrates(f) and
+// diverges from the target once β is boosted; the dwell weights recover
+// the continuous-time occupancy the target actually describes. Classes
+// without samples (inactive cardinality) count their full weight as
+// distance, so d̂_TV starts at 1 and can only fall as evidence
+// accumulates.
 //
-// The enumeration spans every capacity-feasible state with cardinality
-// 1..K−1 — exactly the space the threads inhabit (the full and empty
-// selections have no thread; Nmin only gates *reporting* a best, not
-// exploration, so it does not trim the chain's space). The weights use
-// β_eff, the value-normalized β the transition rates actually apply.
+// The enumeration spans every capacity-feasible state whose cardinality
+// owns a solution thread (RunInfo.Cards) — exactly the space the chain
+// inhabits (the full and empty selections have no thread; Nmin only
+// gates *reporting* a best, not exploration, so it does not trim the
+// chain's space). With the default layout Cards covers all of 1..K−1;
+// under the adaptive schedule's banded stages it is a subset, and the
+// target renormalizes over the covered classes — the chain then targets
+// the Gibbs law conditioned on |f| ∈ Cards, which is what the restricted
+// thread lattice actually samples. The weights use β_eff, the
+// value-normalized β the transition rates actually apply (including any
+// adaptive boost).
 
 // rebuildTargetLocked enumerates the Gibbs target for the bound run, or
-// disables the d_TV estimator when the instance is too large or the
-// thread layout does not cover every cardinality.
+// disables the d_TV estimator when the instance is too large.
 func (d *Diag) rebuildTargetLocked() {
-	d.target, d.cardMarg, d.visits, d.cardVisits = nil, nil, nil, nil
+	d.target, d.cardMarg, d.visits, d.cardVisits, d.cardCounts = nil, nil, nil, nil, nil
 	d.tvStates, d.modeMask, d.modeUtil = 0, 0, math.Inf(-1)
 	k := d.info.K
 	if k < 2 || k > d.cfg.MaxTVShards || len(d.info.Sizes) != k || len(d.info.Values) != k {
 		return
 	}
-	// Every cardinality 1..K−1 must own a thread, otherwise classes
-	// without a sampler would pin the estimate near their target weight
-	// forever. (Holds whenever K−1 ≤ SEConfig.MaxThreads, which is
-	// always true under MaxTVShards ≤ 15 and the default cap of 64.)
-	if len(d.info.Cards) != k-1 {
+	// Only cardinalities that own a thread have a sampler; states outside
+	// the covered classes are excluded from the target (conditioning on
+	// |f| ∈ Cards) rather than counted as unreachable distance.
+	if len(d.info.Cards) == 0 {
 		return
+	}
+	covered := make([]bool, k)
+	for _, n := range d.info.Cards {
+		if n >= 1 && n < k {
+			covered[n] = true
+		}
 	}
 
 	size := 1 << uint(k)
@@ -59,7 +75,7 @@ func (d *Diag) rebuildTargetLocked() {
 	states := 0
 	for mask := 1; mask < size; mask++ {
 		n := bits.OnesCount32(uint32(mask))
-		if n >= k {
+		if n >= k || !covered[n] {
 			logw[mask] = math.Inf(-1)
 			continue
 		}
@@ -109,8 +125,9 @@ func (d *Diag) rebuildTargetLocked() {
 	d.target = target
 	d.cardMarg = cardMarg
 	d.tvStates = states
-	d.visits = make([]int64, size)
-	d.cardVisits = make([]int64, k)
+	d.visits = make([]float64, size)
+	d.cardVisits = make([]float64, k)
+	d.cardCounts = make([]int64, k)
 }
 
 // dtvLocked aggregates the per-cardinality TV distances with the
@@ -125,7 +142,7 @@ func (d *Diag) dtvLocked() *DTVSnapshot {
 	k := d.info.K
 	size := len(d.target)
 	var total int64
-	for _, c := range d.cardVisits {
+	for _, c := range d.cardCounts {
 		total += c
 	}
 	s.Samples = total
@@ -137,15 +154,16 @@ func (d *Diag) dtvLocked() *DTVSnapshot {
 		if w == 0 {
 			continue
 		}
-		samples := d.cardVisits[n]
+		samples := d.cardCounts[n]
+		mass := d.cardVisits[n]
 		tv := 1.0
-		if samples > 0 {
+		if samples > 0 && mass > 0 {
 			var sum float64
 			for mask := 1; mask < size; mask++ {
 				if bits.OnesCount32(uint32(mask)) != n {
 					continue
 				}
-				emp := float64(d.visits[mask]) / float64(samples)
+				emp := d.visits[mask] / mass
 				sum += math.Abs(emp - d.target[mask]/w)
 			}
 			tv = sum / 2

@@ -1,0 +1,132 @@
+package seobs
+
+// The adaptive β/Γ schedule controller. The kernel coordinator feeds it
+// one ControlSignals sample per segment merge — derived only from merged
+// state, so decisions are identical for every worker count — and applies
+// the returned Decision: boost the effective β (sharpening the Gibbs
+// target toward the mode, the classic annealing move) and band the
+// explorer thread lattice around the incumbent cardinality (reallocating
+// the Γ×T round budget to the neighborhood that still matters once the
+// run has settled on a size regime).
+//
+// The controller is a pure deterministic state machine: same signal
+// sequence in, same decision sequence out. It deliberately reads nothing
+// from the Diag (which may or may not be attached — attaching
+// diagnostics must never change results); the signals it consumes are
+// the same quantities seobs measures (swap-accept rate as the mixing
+// proxy, improvement recency as time-to-ε's online face), re-derived
+// from the coordinator's own tallies.
+
+// ControllerConfig tunes the schedule. The zero value uses the defaults
+// noted per field.
+type ControllerConfig struct {
+	// EscalateAfter is the stagnation budget, in transition rounds, for
+	// the first escalation; stage s escalates after EscalateAfter·(s+1)
+	// rounds without a global-best improvement (later stages get
+	// proportionally more patience, mirroring a geometric annealing
+	// ladder). Default 256.
+	EscalateAfter int
+	// MaxStage caps the ladder. Default 3.
+	MaxStage int
+	// BetaStep is the per-stage multiplier on the effective β:
+	// stage s runs at β_eff·BetaStep^s. Default 2.
+	BetaStep float64
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.EscalateAfter <= 0 {
+		c.EscalateAfter = 256
+	}
+	if c.MaxStage <= 0 {
+		c.MaxStage = 3
+	}
+	if c.BetaStep <= 1 {
+		c.BetaStep = 2
+	}
+	return c
+}
+
+// ControlSignals is one segment's worth of merged coordinator state.
+type ControlSignals struct {
+	// Rounds is the segment length in transition rounds; ExplorerRounds
+	// is Rounds × Γ.
+	Rounds         int
+	ExplorerRounds int64
+	// Swaps is the segment's accepted-swap tally (across explorers).
+	Swaps int64
+	// Improved reports whether the merge adopted a global-best
+	// improvement; HaveBest whether any feasible solution exists yet.
+	Improved bool
+	HaveBest bool
+}
+
+// Decision is the schedule the kernel should run until the next change.
+type Decision struct {
+	// Stage is the ladder position (0 = the configured fixed schedule).
+	Stage int
+	// BetaBoost is the multiplier to apply on the effective β
+	// (BetaStep^Stage; 1 at stage 0).
+	BetaBoost float64
+	// AcceptRate is the swap-accept rate observed over the deciding
+	// segment (diagnostic payload for the schedule event).
+	AcceptRate float64
+	// Banded reports whether the thread lattice should narrow to the
+	// incumbent cardinality band (true at stage ≥ 1).
+	Banded bool
+}
+
+// Controller is the deterministic schedule state machine. Not
+// goroutine-safe: only the kernel coordinator touches it, between
+// segments.
+type Controller struct {
+	cfg          ControllerConfig
+	stage        int
+	sinceImprove int
+}
+
+// NewController builds a Controller with cfg's defaults filled in.
+func NewController(cfg ControllerConfig) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Observe folds one segment's signals and returns the current Decision
+// plus whether it changed (the kernel only re-derives caches on change).
+func (c *Controller) Observe(s ControlSignals) (Decision, bool) {
+	if s.Improved {
+		c.sinceImprove = 0
+	} else {
+		c.sinceImprove += s.Rounds
+	}
+	changed := false
+	// Escalate only once a best exists: annealing toward "the incumbent"
+	// is meaningless while every thread is still hunting feasibility.
+	if s.HaveBest && c.stage < c.cfg.MaxStage &&
+		c.sinceImprove >= c.cfg.EscalateAfter*(c.stage+1) {
+		c.stage++
+		c.sinceImprove = 0
+		changed = true
+	}
+	return c.decision(s), changed
+}
+
+// Reset drops the ladder back to stage 0 — the kernel calls it on every
+// dynamic join/leave, where the incumbent cardinality band (and the
+// stagnation evidence behind it) is invalidated.
+func (c *Controller) Reset() {
+	c.stage = 0
+	c.sinceImprove = 0
+}
+
+// Stage reports the current ladder position.
+func (c *Controller) Stage() int { return c.stage }
+
+func (c *Controller) decision(s ControlSignals) Decision {
+	d := Decision{Stage: c.stage, BetaBoost: 1, Banded: c.stage >= 1}
+	for i := 0; i < c.stage; i++ {
+		d.BetaBoost *= c.cfg.BetaStep
+	}
+	if s.ExplorerRounds > 0 {
+		d.AcceptRate = float64(s.Swaps) / float64(s.ExplorerRounds)
+	}
+	return d
+}

@@ -119,6 +119,10 @@ type Window struct {
 	// rates.
 	SwapAcceptRate float64 `json:"swap_accept_rate"`
 	ResetRate      float64 `json:"reset_rate"`
+	// Starved and RaceErrors count the segment's degenerate rounds:
+	// proposal starvation (no armed swap) and failed winner picks.
+	Starved    int64 `json:"starved,omitempty"`
+	RaceErrors int64 `json:"race_errors,omitempty"`
 	// Threads is the per-cardinality best utility across explorers —
 	// the windowed f_n time-series.
 	Threads []ThreadPoint `json:"threads,omitempty"`
@@ -135,6 +139,11 @@ type ImprovePoint struct {
 // resets the improvement-history level, so time-to-ε measures the
 // re-convergence from the seeded state rather than the cold climb.
 const EventWarmStart = "warm-start"
+
+// EventSchedule is the EventMark kind recorded when the adaptive
+// schedule escalates a stage (β boost and/or cardinality banding);
+// Index carries the new stage.
+const EventSchedule = "schedule"
 
 // EventMark records a dynamic join/leave applied mid-run.
 type EventMark struct {
@@ -183,6 +192,13 @@ type Snapshot struct {
 	Swaps          int64 `json:"swaps"`
 	Resets         int64 `json:"resets"`
 	Improvements   int64 `json:"improvements"`
+	// ProposalsStarved and RaceErrors are the run totals of degenerate
+	// rounds (no armed proposal / failed winner pick).
+	ProposalsStarved int64 `json:"proposals_starved,omitempty"`
+	RaceErrors       int64 `json:"race_errors,omitempty"`
+	// ScheduleStage is the adaptive schedule's current stage (0 = the
+	// fixed Alg. 1 regime; only nonzero when SEConfig.Adaptive is on).
+	ScheduleStage int `json:"schedule_stage,omitempty"`
 
 	BestUtility    float64 `json:"best_utility"`
 	HaveBest       bool    `json:"have_best"`
@@ -227,14 +243,17 @@ type Diag struct {
 	modeMask   uint64
 	modeUtil   float64
 	tvStates   int
-	visits     []int64 // dwell samples per mask
-	cardVisits []int64 // dwell samples per cardinality
+	visits     []float64 // dwell-weighted occupancy mass per mask
+	cardVisits []float64 // dwell-weighted occupancy mass per cardinality
+	cardCounts []int64   // raw round samples per cardinality
 
 	probes []*Probe
 
 	rounds, explorerRounds int64
 	swaps, resets          int64
+	starved, raceErrors    int64
 	improvements           int64
+	schedStage             int
 	bestUtil               float64
 	haveBest               bool
 	history                []ImprovePoint
@@ -246,6 +265,7 @@ type Diag struct {
 	// exported instruments (nil without a registry — inert).
 	gBest, gAcceptRate, gResetRate  *obs.Gauge
 	gDTV, gAC1, gTauInt, gTimeToEps *obs.Gauge
+	gStage                          *obs.Gauge
 	hAcceptRate                     *obs.Histogram
 	tracer                          *obs.Tracer
 }
@@ -262,6 +282,7 @@ func New(cfg Config) *Diag {
 		d.gAC1 = reg.Gauge("mvcom_se_diag_autocorr_lag1", "lag-1 autocorrelation of the winner utility series")
 		d.gTauInt = reg.Gauge("mvcom_se_diag_mixing_proxy", "integrated autocorrelation time of the winner utility series (rounds)")
 		d.gTimeToEps = reg.Gauge("mvcom_se_diag_time_to_eps_rounds", "rounds until the best utility stayed within epsilon of its final value")
+		d.gStage = reg.Gauge("mvcom_se_diag_schedule_stage", "adaptive schedule stage (0 = fixed Alg. 1 regime)")
 		d.hAcceptRate = reg.Histogram("mvcom_se_diag_window_accept_rate", "per-window swap-acceptance rate", obs.LinearBuckets(0.05, 0.05, 19))
 		d.tracer = reg.Tracer()
 		reg.RegisterDebug("convergence", func() any { return d.Snapshot() })
@@ -278,6 +299,7 @@ func (d *Diag) Bind(info RunInfo) {
 	defer d.mu.Unlock()
 	d.info = info
 	d.rounds, d.explorerRounds, d.swaps, d.resets, d.improvements = 0, 0, 0, 0, 0
+	d.starved, d.raceErrors, d.schedStage = 0, 0, 0
 	d.bestUtil, d.haveBest = math.Inf(-1), false
 	d.history = d.history[:0]
 	d.events = d.events[:0]
@@ -352,12 +374,35 @@ func (d *Diag) RecordEvent(round int, kind string, index int, bestAfter float64,
 	}
 }
 
+// RecordSchedule marks an adaptive-schedule stage change at the given
+// round: an EventMark (kind "schedule", Index = new stage) joins the
+// event stream, the stage gauge moves, and an EvConvergence trace event
+// fires. Called by the coordinator at a segment merge, never by
+// explorer goroutines. Nil-safe.
+func (d *Diag) RecordSchedule(round int, dec Decision, bestUtil float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.schedStage = dec.Stage
+	d.events = append(d.events, EventMark{Round: round, Kind: EventSchedule, Index: dec.Stage, BestAfter: bestUtil})
+	d.gStage.Set(float64(dec.Stage))
+	if d.tracer != nil {
+		d.tracer.Emit(obs.EvConvergence, "se", float64(dec.Stage), "event:"+EventSchedule)
+	}
+}
+
 // FlushArgs carries one segment's tallies from the kernel coordinator.
 type FlushArgs struct {
 	// From and To delimit the segment's rounds (From, To].
 	From, To int
 	// Swaps and Resets are the segment's summed explorer tallies.
 	Swaps, Resets int64
+	// Starved and RaceErrors are the segment's degenerate-round tallies:
+	// rounds with no armed swap proposal, and timer races that failed to
+	// pick a winner.
+	Starved, RaceErrors int64
 	// BestUtility is the post-merge global best; HaveBest false means no
 	// feasible solution yet.
 	BestUtility float64
@@ -390,6 +435,8 @@ func (d *Diag) Flush(args FlushArgs) {
 	d.explorerRounds += segRounds * gamma
 	d.swaps += args.Swaps
 	d.resets += args.Resets
+	d.starved += args.Starved
+	d.raceErrors += args.RaceErrors
 	if args.HaveBest {
 		d.bestUtil, d.haveBest = args.BestUtility, true
 	}
@@ -398,7 +445,8 @@ func (d *Diag) Flush(args FlushArgs) {
 		d.drainProbeLocked(p)
 	}
 
-	w := Window{Round: args.To, BestUtility: args.BestUtility}
+	w := Window{Round: args.To, BestUtility: args.BestUtility,
+		Starved: args.Starved, RaceErrors: args.RaceErrors}
 	if segEx := float64(segRounds * gamma); segEx > 0 {
 		w.SwapAcceptRate = float64(args.Swaps) / segEx
 		w.ResetRate = float64(args.Resets) / segEx
@@ -432,14 +480,18 @@ func (d *Diag) drainProbeLocked(p *Probe) {
 		return
 	}
 	if d.visits != nil {
-		for _, m := range p.visitBuf {
+		for i, m := range p.visitBuf {
 			if int(m) < len(d.visits) {
-				d.visits[m]++
-				d.cardVisits[bits.OnesCount32(m)]++
+				w := p.weightBuf[i]
+				n := bits.OnesCount32(m)
+				d.visits[m] += w
+				d.cardVisits[n] += w
+				d.cardCounts[n]++
 			}
 		}
 	}
 	p.visitBuf = p.visitBuf[:0]
+	p.weightBuf = p.weightBuf[:0]
 	if len(p.utilBuf) > 0 {
 		if d.utilRing == nil {
 			d.utilRing = make([]float64, d.cfg.MaxUtilitySamples)
@@ -484,21 +536,24 @@ func (d *Diag) Snapshot() Snapshot {
 	defer d.mu.Unlock()
 
 	s := Snapshot{
-		K:              d.info.K,
-		Gamma:          d.info.Gamma,
-		Beta:           d.info.Beta,
-		BetaEff:        d.info.BetaEff,
-		Epsilon:        d.cfg.Epsilon,
-		Rounds:         d.rounds,
-		ExplorerRounds: d.explorerRounds,
-		Swaps:          d.swaps,
-		Resets:         d.resets,
-		Improvements:   d.improvements,
-		BestUtility:    d.bestUtil,
-		HaveBest:       d.haveBest,
-		Windows:        append([]Window(nil), d.windows...),
-		History:        append([]ImprovePoint(nil), d.history...),
-		Events:         append([]EventMark(nil), d.events...),
+		K:                d.info.K,
+		Gamma:            d.info.Gamma,
+		Beta:             d.info.Beta,
+		BetaEff:          d.info.BetaEff,
+		Epsilon:          d.cfg.Epsilon,
+		Rounds:           d.rounds,
+		ExplorerRounds:   d.explorerRounds,
+		Swaps:            d.swaps,
+		Resets:           d.resets,
+		Improvements:     d.improvements,
+		ProposalsStarved: d.starved,
+		RaceErrors:       d.raceErrors,
+		ScheduleStage:    d.schedStage,
+		BestUtility:      d.bestUtil,
+		HaveBest:         d.haveBest,
+		Windows:          append([]Window(nil), d.windows...),
+		History:          append([]ImprovePoint(nil), d.history...),
+		Events:           append([]EventMark(nil), d.events...),
 	}
 	for _, e := range s.Events {
 		if e.Kind == EventWarmStart {
@@ -611,10 +666,11 @@ type Probe struct {
 	trackVisits bool
 	trackUtil   bool
 
-	masks    []uint32
-	active   []bool
-	visitBuf []uint32
-	utilBuf  []float64
+	masks     []uint32
+	active    []bool
+	visitBuf  []uint32
+	weightBuf []float64
+	utilBuf   []float64
 }
 
 // NewProbe registers a probe for explorer id with the given thread
@@ -670,17 +726,25 @@ func (p *Probe) RecordSwap(thread, outPos, inPos int, util float64) {
 	}
 }
 
-// RecordRound appends one dwell sample per active thread — every
-// thread's current state counts one round of occupancy, which is what
-// makes the visit distribution comparable to the stationary target.
-// Only called when TracksVisits. Nil-safe.
-func (p *Probe) RecordRound() {
+// RecordRound appends one dwell sample per active thread, each carrying
+// the round's dwell weight. Counting rounds measures the embedded jump
+// chain, whose occupancy is ∝ π(x)·Σrates(x) — at boosted β the chain
+// dwells at the mode (tiny total rate) while the jump chain executes one
+// swap per round and bounces off, so raw counts diverge from Gibbs. The
+// kernel passes weight = 1/Σw (the expected holding time before the next
+// race fires); weighting each sample by it recovers the continuous-time
+// occupancy, which is the stationary law the target enumerates. Rounds
+// on the log-rate fallback path pass weight 1 (the absolute scale of a
+// single round is irrelevant there and extreme-β instances never run the
+// pinning). Only called when TracksVisits. Nil-safe.
+func (p *Probe) RecordRound(weight float64) {
 	if p == nil || !p.trackVisits {
 		return
 	}
 	for i, m := range p.masks {
 		if p.active[i] {
 			p.visitBuf = append(p.visitBuf, m)
+			p.weightBuf = append(p.weightBuf, weight)
 		}
 	}
 }

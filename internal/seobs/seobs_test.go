@@ -84,10 +84,19 @@ func TestTargetDisabledCases(t *testing.T) {
 	if d.TracksVisits() {
 		t.Fatal("estimator live beyond MaxTVShards")
 	}
-	// Thread layout not covering every cardinality.
+	// A banded thread layout (adaptive schedule) keeps the estimator
+	// live, conditioned on the covered cardinality classes.
 	d.Bind(RunInfo{K: 3, Capacity: 10, Sizes: []int{1, 1, 1}, Values: []float64{1, 2, 3}, Cards: []int{1}})
+	if !d.TracksVisits() {
+		t.Fatal("estimator dead under a banded thread layout")
+	}
+	if s := d.Snapshot(); s.DTV == nil || s.DTV.States != 3 {
+		t.Fatalf("banded target should cover the 3 singletons, got %+v", s.DTV)
+	}
+	// No thread layout at all disables it.
+	d.Bind(RunInfo{K: 3, Capacity: 10, Sizes: []int{1, 1, 1}, Values: []float64{1, 2, 3}})
 	if d.TracksVisits() {
-		t.Fatal("estimator live without full cardinality coverage")
+		t.Fatal("estimator live with no thread layout")
 	}
 	// K < 2.
 	d.Bind(RunInfo{K: 1, Sizes: []int{1}, Values: []float64{1}})
@@ -112,7 +121,7 @@ func TestDTVFromProbeSamples(t *testing.T) {
 		t.Fatal("probe should track visits")
 	}
 	p.SetThread(0, 0b01, true)
-	p.RecordRound() // one dwell sample at state {0}
+	p.RecordRound(1) // one dwell sample at state {0}
 	d.Flush(FlushArgs{From: 0, To: 1, BestUtility: 0, HaveBest: true})
 
 	snap := d.Snapshot()
@@ -127,7 +136,7 @@ func TestDTVFromProbeSamples(t *testing.T) {
 	// One more dwell sample at the other state balances it out exactly.
 	p2 := d.probeFor(t)
 	p2.SetThread(0, 0b10, true)
-	p2.RecordRound()
+	p2.RecordRound(1)
 	d.Flush(FlushArgs{From: 1, To: 2, BestUtility: 0, HaveBest: true})
 	snap = d.Snapshot()
 	if snap.DTV.Samples != 2 {
@@ -157,13 +166,13 @@ func TestRecordSwapMaintainsMask(t *testing.T) {
 	p.SetThread(0, 0b01, true)
 	// Swap position 0 out, position 1 in: mask becomes 0b10.
 	p.RecordSwap(0, 0, 1, 3.5)
-	p.RecordRound()
+	p.RecordRound(1)
 	d.Flush(FlushArgs{From: 0, To: 1})
 	d.mu.Lock()
 	v1, v2 := d.visits[0b01], d.visits[0b10]
 	d.mu.Unlock()
 	if v1 != 0 || v2 != 1 {
-		t.Fatalf("visits after swap = {%d, %d}, want {0, 1}", v1, v2)
+		t.Fatalf("visits after swap = {%v, %v}, want {0, 1}", v1, v2)
 	}
 }
 
@@ -323,7 +332,7 @@ func TestRebindKeepsCurveResetsEstimator(t *testing.T) {
 	bindSmall(d)
 	p := d.NewProbe(0, 1)
 	p.SetThread(0, 0b01, true)
-	p.RecordRound()
+	p.RecordRound(1)
 	d.Flush(FlushArgs{From: 0, To: 10, Swaps: 2, BestUtility: 1, HaveBest: true})
 	d.RecordImprovement(5, 1)
 	d.RecordEvent(10, "leave", 1, 0.5, true)
@@ -359,7 +368,7 @@ func TestNilProbeAndDisabledProbe(t *testing.T) {
 	}
 	p.SetThread(0, 1, true)
 	p.RecordSwap(0, 0, 1, 2)
-	p.RecordRound() // must not panic
+	p.RecordRound(1) // must not panic
 
 	// Non-source explorer on a too-large instance: no probe at all.
 	d := New(Config{})
