@@ -301,6 +301,78 @@ func BenchmarkSESolveObs(b *testing.B) {
 	b.ReportMetric(float64(attached)/float64(detached), "attached/detached")
 }
 
+// BenchmarkSESolveObsSpans extends the §5c overhead gate to the causal
+// tracing layer (DESIGN.md §5h): the armed variant runs the solver under
+// a live registry AND wraps every solve in a root epoch span with a
+// solve child — the exact shape the epoch pipeline and dist session emit
+// per epoch — while the detached variant has everything off. ci.sh holds
+// the same 1.03 line here, so span begin/end (two ring-buffer emits and
+// one atomic ID allocation per span) must stay invisible next to a
+// 2000-round solve.
+func BenchmarkSESolveObsSpans(b *testing.B) {
+	in := benchInstance(b, 200)
+	reg := obs.NewRegistry()
+	seObs := obs.NewSEObserver(reg)
+	diag := seobs.New(seobs.Config{Registry: reg})
+	tc := reg.TraceContext()
+	solve := func(o *obs.SEObserver, d *seobs.Diag, spans bool) float64 {
+		var root, child *obs.Span
+		if spans {
+			root = tc.StartRoot("epoch", "bench")
+			child = tc.StartSpan("solve", "bench", root.Context())
+		}
+		sol, _, err := core.NewSE(core.SEConfig{
+			Seed: 1, Gamma: 8, Obs: o, Diag: d,
+			MaxIters: 2000, ConvergenceWindow: 2000,
+		}).Solve(in.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if spans {
+			child.Finish()
+			root.Finish()
+		}
+		return sol.Utility
+	}
+	var detached, armed time.Duration
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			start := time.Now()
+			uD := solve(nil, nil, false)
+			mid := time.Now()
+			uA := solve(seObs, diag, true)
+			armed += time.Since(mid)
+			detached += mid.Sub(start)
+			if uD != uA {
+				b.Fatalf("instrumentation changed the solution: %v vs %v", uD, uA)
+			}
+		} else {
+			start := time.Now()
+			solve(seObs, diag, true)
+			mid := time.Now()
+			solve(nil, nil, false)
+			detached += time.Since(mid)
+			armed += mid.Sub(start)
+		}
+	}
+	b.ReportMetric(float64(armed)/float64(detached), "attached/detached")
+}
+
+// BenchmarkSpanOff measures the tracing-off fast path: every span call
+// on a nil TraceContext (the nil-is-off contract) must cost a few
+// branches and zero heap — ci.sh gates allocs/op == 0 here, the same way
+// it gates the SE round loop.
+func BenchmarkSpanOff(b *testing.B) {
+	var tc *obs.TraceContext // tracing disabled
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tc.StartRoot("epoch", "bench")
+		child := tc.StartSpan("solve", "bench", root.Context())
+		child.FinishOutcome("ok")
+		root.Finish()
+	}
+}
+
 // BenchmarkSESolveSize measures the solver end-to-end at three instance
 // sizes.
 func BenchmarkSESolveSize(b *testing.B) {

@@ -11,6 +11,7 @@
 //
 //	mvcom-soak -epochs 200
 //	mvcom-soak -epochs 50 -fault-spec 'epoch.committee:prob=0.2' -journal results/BENCH_SOAK.json
+//	mvcom-soak -epochs 50 -timeline results/soak_timeline.json
 //	mvcom-soak -duration 30s -warm=false
 package main
 
@@ -28,6 +29,7 @@ import (
 	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 	"mvcom/internal/seobs"
+	"mvcom/internal/tracemerge"
 	"mvcom/internal/txgen"
 )
 
@@ -167,6 +169,7 @@ func run(args []string) error {
 		quiet       = fs.Bool("q", false, "suppress the per-window table")
 		metrAddr    = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 		traceBuf    = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
+		timeline    = fs.String("timeline", "", "write the run's merged causal timeline (JSON) to this path after the soak")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,9 +178,13 @@ func run(args []string) error {
 		return fmt.Errorf("give -epochs, -duration, or both")
 	}
 
+	// The timeline export needs a live tracer even when no metrics
+	// endpoint is requested.
 	var reg *obs.Registry
-	if *metrAddr != "" {
+	if *metrAddr != "" || *timeline != "" {
 		reg = obs.NewRegistryWithTrace(*traceBuf)
+	}
+	if *metrAddr != "" {
 		srv, err := obs.Serve(*metrAddr, reg)
 		if err != nil {
 			return err
@@ -293,6 +300,11 @@ func run(args []string) error {
 		}
 		fmt.Printf("journal written to %s (%d windows)\n", *journalPath, len(stream.windows))
 	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, reg); err != nil {
+			return err
+		}
+	}
 	if failed {
 		return fmt.Errorf("soak gates failed after %d epochs", stream.served)
 	}
@@ -347,6 +359,32 @@ func minHeap(ws []window) uint64 {
 		}
 	}
 	return m
+}
+
+// writeTimeline reconstructs the soak's causal timeline (epoch root
+// spans with per-phase children) from the registry's ring buffer and
+// writes the merged-timeline JSON artifact — the single-process shape of
+// what mvcom-trace -merge produces for dist sessions. CI uploads this
+// from the soak stage.
+func writeTimeline(path string, reg *obs.Registry) error {
+	events, dropped := reg.Tracer().Snapshot()
+	m := tracemerge.Merge([]*tracemerge.Dump{
+		{Name: "soak", Dropped: dropped, Events: events},
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := m.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("timeline written to %s (%d spans, %d orphans, %d events dropped)\n",
+		path, m.Timeline.Spans, len(m.Timeline.Orphans), dropped)
+	return nil
 }
 
 // writeJournal records the steady-state epoch latency (one sample per

@@ -1,23 +1,32 @@
 // Command mvcom-trace generates and inspects the synthetic
 // blockchain-sharding transaction dataset (the stand-in for the paper's
-// Bitcoin Jan-2016 snapshot).
+// Bitcoin Jan-2016 snapshot), and merges per-process causal-trace dumps
+// into one cross-process timeline.
 //
 // Usage:
 //
 //	mvcom-trace -blocks 1378 -out trace.csv      # generate
 //	mvcom-trace -in trace.csv -shards 50         # inspect / shard statistics
 //	mvcom-trace -in trace.csv -shards 50 -json   # same, machine-readable
+//
+//	# Merge causal-trace dumps ([name=]file-or-url; bare host:port hits
+//	# the live /trace endpoint) into one clock-aligned timeline:
+//	mvcom-trace -merge coordinator=co.json w0=127.0.0.1:9101 w1=w1.json
+//	mvcom-trace -merge -tree co.json w0.json      # flamegraph-style text
+//	mvcom-trace -merge -out merged.json co.json w0.json w1.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/stats"
+	"mvcom/internal/tracemerge"
 	"mvcom/internal/txgen"
 )
 
@@ -40,9 +49,15 @@ func run(args []string) error {
 		asJSON   = fs.Bool("json", false, "emit trace/shard statistics as JSON instead of text")
 		metrAddr = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
+		merge    = fs.Bool("merge", false, "merge causal-trace dumps ([name=]file-or-url args) into one timeline")
+		tree     = fs.Bool("tree", false, "with -merge, render a text tree instead of JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *merge {
+		return mergeDumps(fs.Args(), *out, *tree)
 	}
 
 	var reg *obs.Registry
@@ -97,6 +112,51 @@ func run(args []string) error {
 	if *shards > 0 {
 		return describe(tr, *shards, *seed, *asJSON)
 	}
+	return nil
+}
+
+// mergeDumps ingests each [name=]path-or-url source, aligns the clocks,
+// and writes the merged causal timeline to outPath (default stdout).
+func mergeDumps(sources []string, outPath string, tree bool) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("-merge needs at least one [name=]file-or-url argument")
+	}
+	dumps := make([]*tracemerge.Dump, 0, len(sources))
+	for _, src := range sources {
+		d, err := tracemerge.Load(src)
+		if err != nil {
+			return err
+		}
+		dumps = append(dumps, d)
+	}
+	m := tracemerge.Merge(dumps)
+	if len(m.Timeline.Orphans) > 0 {
+		fmt.Fprintf(os.Stderr, "mvcom-trace: warning: %d orphan spans (parents outside the merged window)\n",
+			len(m.Timeline.Orphans))
+	}
+
+	write := func(w io.Writer) error {
+		if tree {
+			return m.WriteTree(w)
+		}
+		return m.WriteJSON(w)
+	}
+	if outPath == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "merged %d dumps (%d spans, %d orphans) into %s\n",
+		len(dumps), m.Timeline.Spans, len(m.Timeline.Orphans), outPath)
 	return nil
 }
 

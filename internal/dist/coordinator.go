@@ -82,6 +82,10 @@ type CoordinatorConfig struct {
 	// and retry counters, and the session best-utility gauge. Nil
 	// disables every hook.
 	Obs *obs.DistObserver
+	// Parent, when valid, parents the session's root "epoch" span (so an
+	// epoch pipeline driving the coordinator owns the whole timeline);
+	// the zero value starts a fresh root trace.
+	Parent obs.SpanContext
 }
 
 // TimedEvent schedules a dynamic event relative to run start.
@@ -160,6 +164,9 @@ func (co *Coordinator) Close() error { return co.ln.Close() }
 type session struct {
 	co         *Coordinator
 	dispatched time.Time
+	// root is the session's "epoch" span; every first-attempt dispatch
+	// span parents under it.
+	root *obs.Span
 
 	mu      sync.Mutex
 	live    map[*codec]bool
@@ -192,21 +199,26 @@ type session struct {
 // interpreted.
 func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 	inst := co.cfg.Instance.Clone()
+	root := co.cfg.Obs.TraceCtx().StartSpan("epoch", "coordinator", co.cfg.Parent)
+	defer root.Finish()
 	conns, err := co.acceptWorkers()
 	if err != nil && !errors.Is(err, ErrNoWorkers) {
+		root.FinishOutcome("accept-failed")
 		return core.Solution{}, inst, err
 	}
 	if len(conns) == 0 {
 		if co.cfg.DisableLocalFallback {
+			root.FinishOutcome("no-workers")
 			return core.Solution{}, inst, err
 		}
-		sol, lerr := co.localSolve(inst)
+		sol, lerr := co.localSolve(inst, root.Context())
 		return sol, inst, lerr
 	}
 
 	s := &session{
 		co:         co,
 		dispatched: time.Now(),
+		root:       root,
 		live:       make(map[*codec]bool, len(conns)),
 		orphans:    make(chan Task, len(conns)),
 		stopDone:   make(chan struct{}),
@@ -291,9 +303,10 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 	best, ok := pickBest(s.results)
 	if !ok {
 		if co.cfg.DisableLocalFallback {
+			root.FinishOutcome("no-result")
 			return core.Solution{}, inst, ErrNoResult
 		}
-		sol, lerr := co.localSolve(inst)
+		sol, lerr := co.localSolve(inst, root.Context())
 		return sol, inst, lerr
 	}
 	evMu.Lock()
@@ -335,11 +348,14 @@ func (co *Coordinator) task(g int) Task {
 
 // localSolve is the graceful-degradation path: solve the instance as
 // currently known with the in-process SE kernel, using the session's own
-// solver parameters.
-func (co *Coordinator) localSolve(inst core.Instance) (core.Solution, error) {
+// solver parameters. Its span parents under the session root so the
+// degradation stays inside the epoch's causal timeline.
+func (co *Coordinator) localSolve(inst core.Instance, parent obs.SpanContext) (core.Solution, error) {
+	sp := co.cfg.Obs.TraceCtx().StartSpan("local-solve", "coordinator", parent)
 	co.cfg.Obs.LocalFallbackUsed()
 	local := inst.Clone()
 	if err := local.Validate(); err != nil {
+		sp.FinishOutcome("invalid-instance")
 		return core.Solution{}, err
 	}
 	sol, _, err := core.NewSE(core.SEConfig{
@@ -351,6 +367,11 @@ func (co *Coordinator) localSolve(inst core.Instance) (core.Solution, error) {
 		Adaptive: co.cfg.Adaptive,
 		MaxIters: co.cfg.MaxIterations,
 	}).Solve(local)
+	if err != nil {
+		sp.FinishOutcome("error")
+	} else {
+		sp.Finish()
+	}
 	return sol, err
 }
 
@@ -455,16 +476,39 @@ func (s *session) serve(c *codec, task *Task) {
 			}
 			task = &next
 		}
+		sp := s.startDispatch(task)
 		if err := s.assign(c, *task); err != nil {
+			sp.FinishOutcome("assign-failed")
 			s.workerDead(c, task)
 			return
 		}
 		cur := *task
 		task = nil
-		if !s.serveTask(c, cur) {
+		if !s.serveTask(c, cur, sp) {
 			return
 		}
 	}
+}
+
+// startDispatch opens the per-attempt dispatch span and stamps its
+// context into the task's wire fields (the worker parents its solve span
+// under it). A first dispatch parents to the session root; a re-dispatch
+// finds the previous attempt's span in the same fields — carried through
+// the orphan queue — and parents under *that*, so retried attempts chain
+// back to the original instead of orphaning.
+func (s *session) startDispatch(task *Task) *obs.Span {
+	parent := obs.SpanContext{TraceID: task.TraceID, SpanID: task.SpanID}
+	if !parent.Valid() {
+		parent = s.root.Context()
+	}
+	attempt := task.Attempt
+	if attempt < 1 {
+		attempt = 1
+	}
+	sp := s.co.cfg.Obs.TraceCtx().StartSpan("dispatch", fmt.Sprintf("%s#%d", task.TaskID, attempt), parent)
+	sc := sp.Context()
+	task.TraceID, task.SpanID = sc.TraceID, sc.SpanID
+	return sp
 }
 
 // assign dispatches one task over the connection, subject to the
@@ -517,17 +561,19 @@ func (s *session) pushEvent(m EventMsg) {
 // returns true when the task resolved (the serve loop may take more
 // work) and false when the connection died (workerDead has already
 // handled the orphaning).
-func (s *session) serveTask(c *codec, cur Task) bool {
+func (s *session) serveTask(c *codec, cur Task, sp *obs.Span) bool {
 	for {
 		env, err := c.recv(s.co.cfg.HeartbeatTimeout)
 		if err != nil {
 			// Timeout (silent worker) and connection loss both mean the
 			// worker is gone mid-task; the run continues without it.
+			sp.FinishOutcome("worker-dead")
 			s.workerDead(c, &cur)
 			return false
 		}
 		switch env.Type {
 		case MsgProgress:
+			recvAt := time.Now() // t1 of the clock-sync exchange
 			p, derr := decode[Progress](env)
 			if derr != nil {
 				continue
@@ -542,7 +588,13 @@ func (s *session) serveTask(c *codec, cur Task) bool {
 			have := s.co.haveBest
 			s.co.mu.Unlock()
 			if have {
-				_ = c.send(MsgBest, Best{Utility: bu})
+				b := Best{Utility: bu}
+				if p.SentAtNanos != 0 {
+					b.EchoSentAtNanos = p.SentAtNanos
+					b.RecvAtNanos = recvAt.UnixNano()
+					b.ReplyAtNanos = time.Now().UnixNano()
+				}
+				_ = c.send(MsgBest, b)
 			}
 		case MsgResult:
 			r, derr := decode[Result](env)
@@ -552,6 +604,9 @@ func (s *session) serveTask(c *codec, cur Task) bool {
 			s.co.cfg.Obs.ObserveTaskLatency(time.Since(s.dispatched).Seconds())
 			if r.Err != "" {
 				s.co.cfg.Obs.TaskFailed(r.WorkerID, r.Err)
+				sp.FinishOutcome("error")
+			} else {
+				sp.Finish()
 			}
 			s.resolve(&cur, r)
 			return true

@@ -95,6 +95,14 @@ type Task struct {
 	// Attempt counts how many times this task has been dispatched
 	// (1-based); 0 from pre-ID coordinators is treated as 1.
 	Attempt int `json:"attempt,omitempty"`
+	// TraceID and SpanID carry the coordinator's dispatch span for this
+	// attempt, so the worker's solve span lands under it in the merged
+	// causal timeline. While a task sits in the orphan queue the fields
+	// hold the *previous* attempt's dispatch span, which the re-dispatch
+	// uses as its parent — retries stay linked to the original attempt
+	// instead of orphaning.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
 
 	Sizes     []int     `json:"sizes"`
 	Latencies []float64 `json:"latencies"`
@@ -142,6 +150,14 @@ type Progress struct {
 	// convergence diagnostics can tell *which* thread f_n is winning
 	// across the fleet.
 	BestN int `json:"bestN,omitempty"`
+	// TraceID and SpanID name the worker's in-flight solve span.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
+	// SentAtNanos is the worker's wall clock at send (UnixNano). The
+	// coordinator echoes it in its Best reply, closing an NTP-style
+	// exchange the worker uses to estimate its clock offset against the
+	// coordinator's clock (see Best's echo fields).
+	SentAtNanos int64 `json:"sentAtNanos,omitempty"`
 }
 
 // EventMsg mirrors core.Event on the wire.
@@ -178,6 +194,16 @@ func FromEvent(ev core.Event) EventMsg {
 // Best shares the global best utility.
 type Best struct {
 	Utility float64 `json:"utility"`
+	// EchoSentAtNanos, RecvAtNanos, and ReplyAtNanos close the NTP-style
+	// clock-sync exchange: the worker's Progress send time (t0) echoed
+	// back verbatim, plus the coordinator's receive (t1) and reply (t2)
+	// times on its own clock. The worker stamps arrival (t3) and computes
+	// offset = ((t1-t0)+(t2-t3))/2 — seconds to add to its timestamps to
+	// land on the coordinator's clock. All zero when the triggering
+	// Progress carried no timestamp.
+	EchoSentAtNanos int64 `json:"echoSentAtNanos,omitempty"`
+	RecvAtNanos     int64 `json:"recvAtNanos,omitempty"`
+	ReplyAtNanos    int64 `json:"replyAtNanos,omitempty"`
 }
 
 // Result is a worker's final answer.
@@ -192,6 +218,9 @@ type Result struct {
 	// result carries no feasible solution).
 	BestN int    `json:"bestN,omitempty"`
 	Err   string `json:"err,omitempty"`
+	// TraceID and SpanID name the solve span that produced this result.
+	TraceID uint64 `json:"traceId,omitempty"`
+	SpanID  uint64 `json:"spanId,omitempty"`
 }
 
 // codec frames envelopes over a connection. The optional obs sink counts

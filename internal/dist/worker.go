@@ -162,8 +162,10 @@ func (w Worker) session(addr string) (Result, bool, error) {
 	}
 
 	// Reader goroutine for the whole session: forwards control messages,
-	// closes ctrl on connection loss.
-	ctrl := make(chan Envelope, 16)
+	// closes ctrl on connection loss. Each envelope is stamped at read
+	// time — the t3 of the clock-sync exchange — so queueing delay in
+	// ctrl never contaminates the offset estimate.
+	ctrl := make(chan timedEnv, 16)
 	readErr := make(chan error, 1)
 	go func() {
 		defer close(ctrl)
@@ -178,7 +180,7 @@ func (w Worker) session(addr string) (Result, bool, error) {
 				}
 				return
 			}
-			ctrl <- env
+			ctrl <- timedEnv{env: env, at: time.Now()}
 		}
 	}()
 
@@ -194,10 +196,10 @@ func (w Worker) session(addr string) (Result, bool, error) {
 			wait = idle
 		}
 		timer := time.NewTimer(wait)
-		var env Envelope
+		var te timedEnv
 		var open bool
 		select {
-		case env, open = <-ctrl:
+		case te, open = <-ctrl:
 			timer.Stop()
 		case <-timer.C:
 			if delivered {
@@ -214,9 +216,9 @@ func (w Worker) session(addr string) (Result, bool, error) {
 			}
 			return last, true, errors.New("dist: connection closed before task")
 		}
-		switch env.Type {
+		switch te.env.Type {
 		case MsgTask:
-			task, derr := decode[Task](env)
+			task, derr := decode[Task](te.env)
 			if derr != nil {
 				return last, false, derr
 			}
@@ -236,11 +238,18 @@ func (w Worker) session(addr string) (Result, bool, error) {
 			return last, false, nil
 		default:
 			if !delivered {
-				return last, false, fmt.Errorf("%w: got %s before task", ErrBadTask, env.Type)
+				return last, false, fmt.Errorf("%w: got %s before task", ErrBadTask, te.env.Type)
 			}
 			// Best/event pushes between tasks are informational.
 		}
 	}
+}
+
+// timedEnv is an envelope stamped with its read time — the arrival
+// timestamp (t3) the clock-sync estimate needs.
+type timedEnv struct {
+	env Envelope
+	at  time.Time
 }
 
 // taskOutcome is how one task ended: connErr means the connection died
@@ -256,7 +265,13 @@ type taskOutcome struct {
 
 // runTask executes one assigned task to completion, relaying progress
 // and draining control messages between step batches.
-func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, task Task) taskOutcome {
+func (w Worker) runTask(c *codec, ctrl <-chan timedEnv, readErr <-chan error, task Task) taskOutcome {
+	// The solve span parents under the coordinator's dispatch span
+	// carried in the task's wire fields, stitching this worker's work
+	// into the coordinator-rooted epoch timeline.
+	sp := w.Obs.TraceCtx().StartSpan("solve", w.ID,
+		obs.SpanContext{TraceID: task.TraceID, SpanID: task.SpanID})
+	sc := sp.Context()
 	if d := w.FI.Eval(FPWorkerTask); d.Action != faultinject.ActNone {
 		switch d.Action {
 		case faultinject.ActDelay:
@@ -266,14 +281,16 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 			// Simulated worker crash mid-task: tear the connection down so
 			// the coordinator sees a real loss and reassigns.
 			w.Obs.FaultInjected(FPWorkerTask, "drop")
+			sp.FinishOutcome("crash")
 			_ = c.conn.Close()
-			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt}
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, TraceID: sc.TraceID, SpanID: sc.SpanID}
 			return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: %w", taskRef(task), d.Err)}
 		default:
 			w.Obs.FaultInjected(FPWorkerTask, "error")
 			err := fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, d.Err)
 			w.Obs.TaskFailed(w.ID, err.Error())
-			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error()}
+			sp.FinishOutcome("error")
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error(), TraceID: sc.TraceID, SpanID: sc.SpanID}
 			if serr := c.send(MsgResult, res); serr != nil {
 				return taskOutcome{res: res, connErr: serr}
 			}
@@ -293,7 +310,8 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 	if err != nil {
 		err = fmt.Errorf("dist: %s (worker %s): %w", taskRef(task), w.ID, err)
 		w.Obs.TaskFailed(w.ID, err.Error())
-		res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error()}
+		sp.FinishOutcome("bad-task")
+		res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Err: err.Error(), TraceID: sc.TraceID, SpanID: sc.SpanID}
 		if serr := c.send(MsgResult, res); serr != nil {
 			return taskOutcome{res: res, connErr: serr}
 		}
@@ -339,13 +357,17 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 		if iter%reportEvery == 0 {
 			_, bErr := engine.Best()
 			if err := c.send(MsgProgress, Progress{
-				WorkerID:   w.ID,
-				Iterations: engine.Iterations(),
-				Utility:    engine.BestUtility(),
-				Feasible:   bErr == nil,
-				BestN:      engine.BestCardinality(),
+				WorkerID:    w.ID,
+				Iterations:  engine.Iterations(),
+				Utility:     engine.BestUtility(),
+				Feasible:    bErr == nil,
+				BestN:       engine.BestCardinality(),
+				TraceID:     sc.TraceID,
+				SpanID:      sc.SpanID,
+				SentAtNanos: time.Now().UnixNano(),
 			}); err != nil {
-				res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
+				sp.FinishOutcome("conn-lost")
+				res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations(), TraceID: sc.TraceID, SpanID: sc.SpanID}
 				return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: report progress: %w", taskRef(task), err)}
 			}
 		}
@@ -353,17 +375,17 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 		w.Obs.SetQueueDepth(len(ctrl))
 		for drained := false; !drained; {
 			select {
-			case env, ok := <-ctrl:
+			case te, ok := <-ctrl:
 				if !ok {
 					ctrlClosed = true
 					drained = true
 					break
 				}
-				switch env.Type {
+				switch te.env.Type {
 				case MsgStop:
 					stopSeen = true
 				case MsgEvent:
-					m, err := decode[EventMsg](env)
+					m, err := decode[EventMsg](te.env)
 					if err == nil {
 						if ev, err := m.ToEvent(); err == nil {
 							if err := engine.ApplyEvent(ev); err != nil && applyErr == nil {
@@ -372,9 +394,17 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 						}
 					}
 				case MsgBest:
-					// Informational; a worker could use it to restart
-					// stuck explorers. The reference implementation just
-					// acknowledges receipt by continuing.
+					// Informational for the chain, but it closes the
+					// clock-sync exchange when it echoes one of our
+					// Progress timestamps: offset = ((t1-t0)+(t2-t3))/2
+					// is the seconds to add to this worker's clock to
+					// land on the coordinator's.
+					if b, err := decode[Best](te.env); err == nil && b.EchoSentAtNanos != 0 {
+						t0, t1, t2, t3 := b.EchoSentAtNanos, b.RecvAtNanos, b.ReplyAtNanos, te.at.UnixNano()
+						offset := float64((t1-t0)+(t2-t3)) / 2 / 1e9
+						rtt := float64((t3-t0)-(t2-t1)) / 1e9
+						w.Obs.ClockSynced(w.ID, offset, rtt)
+					}
 				}
 			default:
 				drained = true
@@ -387,7 +417,8 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 			if err == nil {
 				err = errors.New("connection lost mid-task")
 			}
-			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
+			sp.FinishOutcome("conn-lost")
+			res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations(), TraceID: sc.TraceID, SpanID: sc.SpanID}
 			return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: %w", taskRef(task), err)}
 		}
 		if ctrlClosed {
@@ -395,7 +426,7 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 		}
 	}
 
-	res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations()}
+	res := Result{WorkerID: w.ID, TaskID: task.TaskID, Attempt: task.Attempt, Iterations: engine.Iterations(), TraceID: sc.TraceID, SpanID: sc.SpanID}
 	if applyErr != nil {
 		res.Err = fmt.Errorf("dist: %s (worker %s): apply event: %w", taskRef(task), w.ID, applyErr).Error()
 	} else if sol, err := engine.Best(); err != nil {
@@ -407,6 +438,9 @@ func (w Worker) runTask(c *codec, ctrl <-chan Envelope, readErr <-chan error, ta
 	}
 	if res.Err != "" {
 		w.Obs.TaskFailed(w.ID, res.Err)
+		sp.FinishOutcome("error")
+	} else {
+		sp.Finish()
 	}
 	if serr := c.send(MsgResult, res); serr != nil && !stopSeen && !ctrlClosed {
 		return taskOutcome{res: res, connErr: fmt.Errorf("dist: %s: report result: %w", taskRef(task), serr)}

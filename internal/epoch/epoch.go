@@ -122,6 +122,11 @@ type Config struct {
 	// small (or empty) shards. Committees with no transactions sit the
 	// epoch out.
 	PoolDriven bool
+	// EpochBudget, when positive, is the wall-clock SLO target for one
+	// epoch run: every phase gauge then also exports its share of the
+	// budget (mvcom_epoch_phase_budget_ratio{phase=...}), the surface a
+	// serving loop alerts on. Zero disables the ratio gauges.
+	EpochBudget time.Duration
 	// Seed drives every stochastic component.
 	Seed int64
 	// Obs, when non-nil, receives pipeline telemetry: per-committee
@@ -329,6 +334,19 @@ func (p *Pipeline) Chain() *chain.RootChain { return p.chain }
 // Trace exposes the generated transaction trace.
 func (p *Pipeline) Trace() *txgen.Trace { return p.trace }
 
+// startPhase opens one wall-clock phase of an epoch run: a child span
+// under the epoch root plus the per-phase SLO gauges on finish. The
+// returned func ends the phase with an outcome ("" = ok). Everything
+// no-ops when Obs is nil.
+func (p *Pipeline) startPhase(root *obs.Span, name string) func(outcome string) {
+	sp := p.cfg.Obs.TraceCtx().StartSpan(name, "pipeline", root.Context())
+	start := time.Now()
+	return func(outcome string) {
+		sp.FinishOutcome(outcome)
+		p.cfg.Obs.PhaseWall(name, time.Since(start).Seconds(), p.cfg.EpochBudget.Seconds())
+	}
+}
+
 // RunEpoch executes the five stages once, using sched for the stage-4
 // decision. alpha, capacity, and nmin parameterize the MVCom instance.
 func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) (*Result, error) {
@@ -339,10 +357,30 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	res := p.newResult()
 	engine := sim.NewEngine()
 
+	// The epoch root span parents every phase (and, through the solve
+	// phase, any spans the scheduler's own observer emits); the committed
+	// flag routes the end event's outcome and gates the E2E histogram so
+	// it only measures epochs that actually committed a block.
+	epochStart := time.Now()
+	root := p.cfg.Obs.TraceCtx().StartRoot("epoch", "pipeline")
+	committed := false
+	defer func() {
+		if committed {
+			root.Finish()
+			p.cfg.Obs.ObserveE2E(time.Since(epochStart).Seconds())
+		} else {
+			root.FinishOutcome("error")
+		}
+	}()
+
+	endConsensus := p.startPhase(root, "consensus")
 	reports, err := p.memberStages(engine)
 	if err != nil {
+		endConsensus("error")
 		return nil, err
 	}
+	endConsensus("")
+	endCollect := p.startPhase(root, "collect")
 	// Carried-over committees re-submit with their residual latency.
 	reports = append(reports, p.deferred...)
 	if p.srv != nil {
@@ -376,13 +414,19 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		if p.cfg.PoolDriven {
 			// A quiet window: no transactions arrived, so the final
 			// committee appends an empty block and the epoch ends.
+			endCollect("quiet-window")
+			endCommit := p.startPhase(root, "commit")
 			fb, aErr := p.chain.Append(p.epoch, engine.Now()+ddl, nil)
 			if aErr != nil {
+				endCommit("error")
 				return nil, fmt.Errorf("epoch %d empty block: %w", p.epoch, aErr)
 			}
+			endCommit("empty-block")
 			res.FinalBlock = fb
+			committed = true
 			return res, nil
 		}
+		endCollect("all-failed")
 		return nil, fmt.Errorf("epoch %d: every committee failed", p.epoch)
 	}
 	sizes, lats := p.scratchInstance(len(res.Live))
@@ -399,6 +443,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		in.Latencies[li] = reports[ri].TwoPhase.Seconds()
 	}
 	if err := in.Validate(); err != nil {
+		endCollect("invalid-instance")
 		return nil, fmt.Errorf("epoch %d instance: %w", p.epoch, err)
 	}
 	if p.srv == nil {
@@ -407,11 +452,15 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		// Serve mode: the instance is scratch, valid until the next epoch.
 		res.Instance = in
 	}
+	endCollect("")
 
+	endSolve := p.startPhase(root, "solve")
 	sol, err := p.schedule(sched, in, res)
 	if err != nil {
+		endSolve("error")
 		return nil, fmt.Errorf("epoch %d schedule: %w", p.epoch, err)
 	}
+	endSolve("")
 	res.Solution = sol
 	p.recordPermitted(res)
 	if o := p.cfg.Obs; o != nil {
@@ -424,6 +473,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	// append it (randomness refresh happens inside Append). Refused
 	// committees defer to the next epoch with reduced latency (Fig. 3):
 	// l' = max(l − t_j, 0) plus a fresh consensus round.
+	endCommit := p.startPhase(root, "commit")
 	var shards []*chain.ShardBlock
 	if p.srv != nil {
 		shards = p.srv.shards[:0]
@@ -434,6 +484,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		if li < len(sol.Selected) && sol.Selected[li] {
 			sb, sbErr := chain.NewShardHeader(rep.Committee, p.epoch, rep.TwoPhase, p.shardRoot(rep), rep.TxCount)
 			if sbErr != nil {
+				endCommit("error")
 				return nil, fmt.Errorf("epoch %d shard header: %w", p.epoch, sbErr)
 			}
 			shards = append(shards, sb)
@@ -469,8 +520,10 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 
 	fb, err := p.chain.Append(p.epoch, engine.Now()+ddl, shards)
 	if err != nil {
+		endCommit("error")
 		return nil, fmt.Errorf("epoch %d final block: %w", p.epoch, err)
 	}
+	endCommit("")
 	res.FinalBlock = fb
 	if o := p.cfg.Obs; o != nil {
 		o.Trace.Emit(obs.EvEpochPhase, "epoch", float64(p.epoch), "final-block-assembly")
@@ -478,6 +531,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		o.DeferredCommittees.Add(int64(len(res.Deferred)))
 		o.Epochs.Inc()
 	}
+	committed = true
 	return res, nil
 }
 

@@ -1,7 +1,9 @@
 package epoch
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"mvcom/internal/core"
 	"mvcom/internal/obs"
@@ -15,6 +17,7 @@ import (
 func TestEpochObservabilityEndToEnd(t *testing.T) {
 	const epochs = 3
 	cfg := fastConfig(8, 7)
+	cfg.EpochBudget = 30 * time.Second
 	reg := obs.NewRegistry()
 	cfg.Obs = obs.NewEpochObserver(reg)
 
@@ -77,6 +80,58 @@ func TestEpochObservabilityEndToEnd(t *testing.T) {
 	}
 	if phases == 0 || ages == 0 {
 		t.Fatalf("trace events missing: phase=%d shard-age=%d", phases, ages)
+	}
+
+	// End-to-end latency histogram: one observation per committed epoch.
+	if got := o.E2E.Count(); got != epochs {
+		t.Fatalf("e2e histogram count = %d, want %d", got, epochs)
+	}
+
+	// Per-phase wall-clock gauges and (with EpochBudget set) budget
+	// ratios must be exported for every pipeline phase.
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"consensus", "collect", "solve", "commit"} {
+		if !strings.Contains(prom.String(), `mvcom_epoch_phase_seconds{phase="`+phase+`"}`) {
+			t.Fatalf("missing phase gauge for %q in prometheus export", phase)
+		}
+		if !strings.Contains(prom.String(), `mvcom_epoch_phase_budget_ratio{phase="`+phase+`"}`) {
+			t.Fatalf("missing phase budget-ratio gauge for %q in prometheus export", phase)
+		}
+	}
+
+	// Span stream: every epoch root must carry the four phase children
+	// and the reconstruction must have no orphans or incomplete spans.
+	tl := obs.BuildTimeline(events)
+	if len(tl.Orphans) != 0 {
+		t.Fatalf("timeline has %d orphan spans", len(tl.Orphans))
+	}
+	epochRoots := 0
+	for _, root := range tl.Roots {
+		if root.Name != "epoch" {
+			continue
+		}
+		epochRoots++
+		if root.Incomplete {
+			t.Fatalf("epoch root span %#x incomplete", root.SpanID)
+		}
+		seen := map[string]bool{}
+		for _, c := range root.Children {
+			seen[c.Name] = true
+			if c.Incomplete {
+				t.Fatalf("phase span %q under epoch %#x incomplete", c.Name, root.SpanID)
+			}
+		}
+		for _, phase := range []string{"consensus", "collect", "solve", "commit"} {
+			if !seen[phase] {
+				t.Fatalf("epoch root %#x missing %q child span (have %v)", root.SpanID, phase, seen)
+			}
+		}
+	}
+	if epochRoots != epochs {
+		t.Fatalf("epoch root spans = %d, want %d", epochRoots, epochs)
 	}
 
 	// Utilities must be real scheduling outcomes under the binding

@@ -119,13 +119,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	if tracer != nil {
 		if _, err := fmt.Fprintf(w,
-			"# HELP obs_trace_events_total structured trace events emitted\n"+
-				"# TYPE obs_trace_events_total counter\n"+
-				"obs_trace_events_total %d\n"+
-				"# HELP obs_trace_dropped_total trace events evicted from the bounded ring\n"+
-				"# TYPE obs_trace_dropped_total counter\n"+
-				"obs_trace_dropped_total %d\n",
-			tracer.Emitted(), tracer.Dropped()); err != nil {
+			"# HELP mvcom_trace_dropped_total trace events evicted from the bounded ring\n"+
+				"# TYPE mvcom_trace_dropped_total counter\n"+
+				"mvcom_trace_dropped_total %d\n"+
+				"# HELP mvcom_trace_events_total structured trace events emitted\n"+
+				"# TYPE mvcom_trace_events_total counter\n"+
+				"mvcom_trace_events_total %d\n",
+			tracer.Dropped(), tracer.Emitted()); err != nil {
 			return err
 		}
 	}

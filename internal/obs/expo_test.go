@@ -45,12 +45,12 @@ mvcom_lat_seconds_bucket{le="2"} 2
 mvcom_lat_seconds_bucket{le="+Inf"} 3
 mvcom_lat_seconds_sum 4.5
 mvcom_lat_seconds_count 3
-# HELP obs_trace_events_total structured trace events emitted
-# TYPE obs_trace_events_total counter
-obs_trace_events_total 1
-# HELP obs_trace_dropped_total trace events evicted from the bounded ring
-# TYPE obs_trace_dropped_total counter
-obs_trace_dropped_total 0
+# HELP mvcom_trace_dropped_total trace events evicted from the bounded ring
+# TYPE mvcom_trace_dropped_total counter
+mvcom_trace_dropped_total 0
+# HELP mvcom_trace_events_total structured trace events emitted
+# TYPE mvcom_trace_events_total counter
+mvcom_trace_events_total 1
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("prometheus exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -15,10 +15,11 @@ import (
 // NewMux builds the observability HTTP handler for a registry:
 //
 //	/                   index page linking every endpoint below
-//	/healthz            liveness probe ({"status":"ok"})
+//	/healthz            liveness probe + tracer fill/drop stats
 //	/metrics            Prometheus text exposition
 //	/metrics.json       the same instruments as one JSON document
-//	/trace              recent structured trace events (JSON, oldest first)
+//	/trace              recent structured trace events (streamed JSON, oldest first)
+//	/debug/timeline     causal span timeline reconstructed from the tracer ring
 //	/debug/convergence  SE convergence diagnostics (registered provider)
 //	/debug/vars         expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/       CPU, heap, goroutine, ... profiles
@@ -37,7 +38,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, "<html><head><title>mvcom observability</title></head><body>\n")
 		fmt.Fprint(w, "<h1>mvcom observability</h1>\n<ul>\n")
-		links := []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/debug/convergence", "/debug/vars", "/debug/pprof/"}
+		links := []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/debug/timeline", "/debug/convergence", "/debug/vars", "/debug/pprof/"}
 		seen := map[string]bool{}
 		for _, l := range links {
 			seen[l] = true
@@ -54,7 +55,20 @@ func NewMux(reg *Registry) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprint(w, `{"status":"ok"}`+"\n")
+		// Surface the tracer ring's fill/drop state so silent trace loss
+		// is visible before an mvcom-trace -merge comes up short.
+		tr := reg.Tracer()
+		emitted, dropped, capacity := tr.Emitted(), tr.Dropped(), tr.Capacity()
+		fill := 0.0
+		if capacity > 0 {
+			retained := emitted
+			if retained > uint64(capacity) {
+				retained = uint64(capacity)
+			}
+			fill = float64(retained) / float64(capacity)
+		}
+		fmt.Fprintf(w, `{"status":"ok","trace":{"capacity":%d,"emitted":%d,"dropped":%d,"fill":%.4f}}`+"\n",
+			capacity, emitted, dropped, fill)
 	})
 	mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
 		name := strings.TrimPrefix(r.URL.Path, "/debug/")
@@ -78,13 +92,23 @@ func NewMux(reg *Registry) *http.ServeMux {
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		events, dropped := reg.Tracer().Snapshot()
+		// Streamed in bounded chunks — a large -trace-buf no longer
+		// materializes the whole window on export.
+		_ = reg.Tracer().StreamJSON(w)
+	})
+	// Explicit registration wins over the /debug/ provider dispatch.
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, r *http.Request) {
+		events, _ := reg.Tracer().Snapshot()
+		tl := BuildTimeline(events)
+		if r.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = tl.WriteTree(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Dropped uint64  `json:"dropped"`
-			Events  []Event `json:"events"`
-		}{Dropped: dropped, Events: events})
+		_ = enc.Encode(tl)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

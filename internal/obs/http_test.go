@@ -70,6 +70,26 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/trace events = %+v", tdoc.Events)
 	}
 
+	// /debug/timeline reconstructs spans from the same ring.
+	sp := reg.TraceContext().StartRoot("epoch", "coord")
+	reg.TraceContext().StartSpan("solve", "w1", sp.Context()).Finish()
+	sp.Finish()
+	timeline, ctype := get("/debug/timeline")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/timeline content type %q", ctype)
+	}
+	var tldoc Timeline
+	if err := json.Unmarshal([]byte(timeline), &tldoc); err != nil {
+		t.Fatalf("/debug/timeline does not parse: %v", err)
+	}
+	if tldoc.Spans != 2 || len(tldoc.Roots) != 1 || len(tldoc.Orphans) != 0 {
+		t.Fatalf("/debug/timeline = %+v", tldoc)
+	}
+	tree, ctype := get("/debug/timeline?format=tree")
+	if !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(tree, "└── epoch (coord)") {
+		t.Fatalf("/debug/timeline?format=tree (%s):\n%s", ctype, tree)
+	}
+
 	vars, _ := get("/debug/vars")
 	if !strings.Contains(vars, "memstats") {
 		t.Fatal("/debug/vars missing expvar memstats")
@@ -107,7 +127,7 @@ func TestServeIndexHealthAndDebugProviders(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/ status %d", code)
 	}
-	for _, link := range []string{"/healthz", "/metrics", "/trace", "/debug/convergence", "/debug/pprof/"} {
+	for _, link := range []string{"/healthz", "/metrics", "/trace", "/debug/timeline", "/debug/convergence", "/debug/pprof/"} {
 		if !strings.Contains(index, link) {
 			t.Fatalf("index page missing link %s:\n%s", link, index)
 		}
@@ -116,15 +136,28 @@ func TestServeIndexHealthAndDebugProviders(t *testing.T) {
 		t.Fatalf("unknown path status %d, want 404", code)
 	}
 
+	reg.Tracer().Emit(EvEpochPhase, "epoch", 1, "formation")
 	code, health := get("/healthz")
 	if code != http.StatusOK {
 		t.Fatalf("/healthz status %d", code)
 	}
 	var hdoc struct {
 		Status string `json:"status"`
+		Trace  struct {
+			Capacity int     `json:"capacity"`
+			Emitted  uint64  `json:"emitted"`
+			Dropped  uint64  `json:"dropped"`
+			Fill     float64 `json:"fill"`
+		} `json:"trace"`
 	}
 	if err := json.Unmarshal([]byte(health), &hdoc); err != nil || hdoc.Status != "ok" {
 		t.Fatalf("/healthz body %q (err %v)", health, err)
+	}
+	if hdoc.Trace.Capacity != DefaultTraceCapacity {
+		t.Fatalf("/healthz trace capacity = %d, want %d", hdoc.Trace.Capacity, DefaultTraceCapacity)
+	}
+	if hdoc.Trace.Emitted == 0 || hdoc.Trace.Fill <= 0 {
+		t.Fatalf("/healthz trace stats empty: %q", health)
 	}
 
 	// Before any run registers diagnostics the page 404s; registration

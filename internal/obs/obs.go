@@ -183,6 +183,7 @@ type Registry struct {
 	hists    map[string]*Histogram
 	debug    map[string]func() any
 	tracer   *Tracer
+	traceCtx *TraceContext
 }
 
 // DefaultTraceCapacity bounds the registry's built-in tracer ring.

@@ -1,6 +1,9 @@
 package obs
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // SEObserver groups the instruments of the Stochastic-Exploration kernel
 // (internal/core). The kernel accumulates plain per-explorer tallies in
@@ -95,8 +98,12 @@ type DistObserver struct {
 	// LocalFallbacks counts sessions that degraded to an in-process
 	// solve because no worker delivered a usable result.
 	LocalFallbacks *Counter
+	// ClockOffset gauges this process's latest estimated clock offset
+	// against the coordinator's reference clock, in seconds.
+	ClockOffset *Gauge
 	// Trace receives EvDistSend / EvDistRecv / EvDistTaskError /
-	// EvDistFault / EvDistRetry events.
+	// EvDistFault / EvDistRetry / EvClockSync events plus the span
+	// begin/end pairs of the dist causal-tracing layer.
 	Trace *Tracer
 
 	sent, recv sync.Map // message type -> *Counter
@@ -122,8 +129,30 @@ func NewDistObserver(reg *Registry, role string) *DistObserver {
 		TasksReassigned:  reg.Counter("mvcom_dist_tasks_reassigned_total", "orphaned tasks re-dispatched to another worker"),
 		TasksAbandoned:   reg.Counter("mvcom_dist_tasks_abandoned_total", "tasks dropped after exhausting the attempt cap"),
 		LocalFallbacks:   reg.Counter("mvcom_dist_local_fallbacks_total", "sessions degraded to an in-process solve"),
+		ClockOffset:      reg.Gauge("mvcom_dist_clock_offset_seconds{role=\""+role+"\"}", "estimated clock offset vs the coordinator's reference clock"),
 		Trace:            reg.Tracer(),
 	}
+}
+
+// TraceCtx returns the registry's span allocator so dist call sites can
+// open causal spans; nil observer returns the inert nil allocator.
+func (o *DistObserver) TraceCtx() *TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.reg.TraceContext()
+}
+
+// ClockSynced records one NTP-style clock-offset estimate: offsetSec is
+// the seconds to add to this process's timestamps to land on the
+// coordinator's clock, rttSec the measured round trip. No-op on a nil
+// observer.
+func (o *DistObserver) ClockSynced(worker string, offsetSec, rttSec float64) {
+	if o == nil {
+		return
+	}
+	o.ClockOffset.Set(offsetSec)
+	o.Trace.Emit(EvClockSync, worker, offsetSec, fmt.Sprintf("rtt=%.6fs", rttSec))
 }
 
 // FaultInjected records one fault-injection firing at a named point.
@@ -265,6 +294,8 @@ func (o *DistObserver) msgCounter(cache *sync.Map, dir, msgType string) *Counter
 // gauge matching the paper's Π_i term, and phase-transition trace
 // events. A nil *EpochObserver is fully inert.
 type EpochObserver struct {
+	reg *Registry
+
 	// Epochs counts completed epochs.
 	Epochs *Counter
 	// Formation, Consensus, and TwoPhase observe per-committee stage
@@ -278,6 +309,11 @@ type EpochObserver struct {
 	// CumulativeAge gauges the latest epoch's Σ x_i (t_j − l_i) — the
 	// Π_i accounting term of the valuable-degree metric.
 	CumulativeAge *Gauge
+	// E2E observes the wall-clock end-to-end latency of one epoch run
+	// (report collection through commit) — the SLO surface a serving
+	// loop gates on. Distinct from Formation/Consensus/TwoPhase, which
+	// measure the paper's *virtual*-clock committee latencies.
+	E2E *Histogram
 	// PermittedTxs and PermittedCommittees count the scheduling output;
 	// DeferredCommittees counts refusals carried to the next epoch;
 	// FailedCommittees counts confirmed mid-epoch failures.
@@ -285,8 +321,12 @@ type EpochObserver struct {
 	PermittedCommittees *Counter
 	DeferredCommittees  *Counter
 	FailedCommittees    *Counter
-	// Trace receives EvEpochPhase and EvShardAge events.
+	// Trace receives EvEpochPhase and EvShardAge events plus the epoch
+	// pipeline's span begin/end pairs.
 	Trace *Tracer
+
+	phaseSeconds sync.Map // phase -> *Gauge mvcom_epoch_phase_seconds{phase=...}
+	phaseBudget  sync.Map // phase -> *Gauge mvcom_epoch_phase_budget_ratio{phase=...}
 }
 
 // NewEpochObserver registers the epoch pipeline instruments on reg;
@@ -297,16 +337,61 @@ func NewEpochObserver(reg *Registry) *EpochObserver {
 	}
 	latency := ExponentialBuckets(16, 2, 12) // 16 s .. 32768 s
 	return &EpochObserver{
+		reg:                 reg,
 		Epochs:              reg.Counter("mvcom_epoch_total", "completed epochs"),
 		Formation:           reg.Histogram("mvcom_epoch_formation_seconds", "committee formation latency (stages 1+2)", latency),
 		Consensus:           reg.Histogram("mvcom_epoch_consensus_seconds", "intra-committee consensus latency (stage 3)", latency),
 		TwoPhase:            reg.Histogram("mvcom_epoch_two_phase_seconds", "committee two-phase latency l_i", latency),
 		ShardAge:            reg.Histogram("mvcom_epoch_shard_age_seconds", "permitted shard age t_j - l_i at inclusion", ExponentialBuckets(1, 2, 14)),
 		CumulativeAge:       reg.Gauge("mvcom_epoch_cumulative_age_seconds", "latest epoch's cumulative permitted-shard age"),
+		E2E:                 reg.Histogram("mvcom_epoch_e2e_seconds", "wall-clock end-to-end epoch latency", ExponentialBuckets(0.001, 2, 16)),
 		PermittedTxs:        reg.Counter("mvcom_epoch_permitted_txs_total", "transactions permitted into final blocks"),
 		PermittedCommittees: reg.Counter("mvcom_epoch_permitted_committees_total", "committees permitted into final blocks"),
 		DeferredCommittees:  reg.Counter("mvcom_epoch_deferred_committees_total", "committees refused and deferred to the next epoch"),
 		FailedCommittees:    reg.Counter("mvcom_epoch_failed_committees_total", "committees confirmed failed mid-epoch"),
 		Trace:               reg.Tracer(),
 	}
+}
+
+// TraceCtx returns the registry's span allocator so the epoch pipeline
+// can open causal spans; nil observer returns the inert nil allocator.
+func (o *EpochObserver) TraceCtx() *TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.reg.TraceContext()
+}
+
+// ObserveE2E records one epoch's wall-clock end-to-end latency in
+// seconds. No-op on a nil observer.
+func (o *EpochObserver) ObserveE2E(seconds float64) {
+	if o == nil {
+		return
+	}
+	o.E2E.Observe(seconds)
+}
+
+// PhaseWall records one epoch phase's wall-clock duration and, when an
+// epoch budget is configured (budget > 0), the fraction of that budget
+// the phase consumed — the per-phase SLO gauges. Gauges are registered
+// lazily per phase and cached so the registry lock is only taken on the
+// first sighting of each phase name. No-op on a nil observer.
+func (o *EpochObserver) PhaseWall(phase string, seconds, budget float64) {
+	if o == nil {
+		return
+	}
+	o.phaseGauge(&o.phaseSeconds, "mvcom_epoch_phase_seconds", "wall-clock seconds spent in the epoch phase", phase).Set(seconds)
+	if budget > 0 {
+		o.phaseGauge(&o.phaseBudget, "mvcom_epoch_phase_budget_ratio", "phase wall-clock seconds / epoch budget", phase).Set(seconds / budget)
+	}
+}
+
+// phaseGauge caches per-phase labeled gauges, mirroring msgCounter.
+func (o *EpochObserver) phaseGauge(cache *sync.Map, base, help, phase string) *Gauge {
+	if g, ok := cache.Load(phase); ok {
+		return g.(*Gauge)
+	}
+	g := o.reg.Gauge(base+"{phase=\""+phase+"\"}", help)
+	cache.Store(phase, g)
+	return g
 }

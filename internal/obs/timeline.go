@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Timeline reconstruction: fold a stream of span begin/end events back
+// into the tree of timed operations that emitted them. This is the
+// single-process half of the tracing story (served at /debug/timeline);
+// internal/tracemerge layers multi-dump ingestion and clock-offset
+// alignment on top of the same builder.
+
+// TimelineSpan is one reconstructed span with its children attached.
+type TimelineSpan struct {
+	TraceID  uint64 `json:"traceId"`
+	SpanID   uint64 `json:"spanId"`
+	ParentID uint64 `json:"parentId,omitempty"`
+	Name     string `json:"name"`
+	Actor    string `json:"actor,omitempty"`
+	// Node is the process the span came from (stamped by merge tooling;
+	// empty for single-process timelines).
+	Node  string    `json:"node,omitempty"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end,omitempty"`
+	// DurationMs is the emitter-measured wall duration. It comes from the
+	// end event's Value, not End-Start, so it stays exact even after merge
+	// tooling shifts Start/End onto a reference clock.
+	DurationMs float64 `json:"durationMs"`
+	// Outcome is how the span finished ("" = plain Finish).
+	Outcome string `json:"outcome,omitempty"`
+	// Incomplete marks a span with no end event (still running when the
+	// dump was taken, or the process died mid-span).
+	Incomplete bool `json:"incomplete,omitempty"`
+	// Recovered marks a span whose begin event was evicted from the ring;
+	// its Start is back-computed as End - duration.
+	Recovered bool            `json:"recovered,omitempty"`
+	Children  []*TimelineSpan `json:"children,omitempty"`
+}
+
+// Timeline is the reconstructed forest for one event window.
+type Timeline struct {
+	// Roots are the parentless spans, oldest first.
+	Roots []*TimelineSpan `json:"roots"`
+	// Orphans are spans whose ParentID names a span absent from the
+	// window — the failure the dist propagation tests assert is empty.
+	Orphans []*TimelineSpan `json:"orphans,omitempty"`
+	// Spans counts every reconstructed span (roots + descendants + orphans).
+	Spans int `json:"spans"`
+}
+
+// splitOutcome undoes the "name:outcome" packing of Span.FinishOutcome.
+func splitOutcome(detail string) (name, outcome string) {
+	for i := 0; i < len(detail); i++ {
+		if detail[i] == ':' {
+			return detail[:i], detail[i+1:]
+		}
+	}
+	return detail, ""
+}
+
+// BuildTimeline folds span events (any order, begin/end interleaved with
+// non-span events, possibly truncated by ring eviction) into a forest.
+// End-only spans get a recovered Start (End - duration); begin-only spans
+// are marked Incomplete. Children are sorted by Start.
+func BuildTimeline(events []Event) *Timeline {
+	spans := make(map[uint64]*TimelineSpan)
+	order := make([]uint64, 0, 16) // first-seen order for stable tie-breaks
+	get := func(ev Event) *TimelineSpan {
+		s, ok := spans[ev.SpanID]
+		if !ok {
+			s = &TimelineSpan{TraceID: ev.TraceID, SpanID: ev.SpanID, ParentID: ev.ParentID}
+			spans[ev.SpanID] = s
+			order = append(order, ev.SpanID)
+		}
+		return s
+	}
+	for _, ev := range events {
+		switch ev.Type {
+		case EvSpanBegin:
+			s := get(ev)
+			s.Name, s.Actor, s.Node = ev.Detail, ev.Actor, ev.Node
+			s.Start = ev.At
+			s.Incomplete = true
+		case EvSpanEnd:
+			s := get(ev)
+			name, outcome := splitOutcome(ev.Detail)
+			s.Name, s.Outcome = name, outcome
+			if s.Actor == "" {
+				s.Actor = ev.Actor
+			}
+			if s.Node == "" {
+				s.Node = ev.Node
+			}
+			s.End = ev.At
+			s.DurationMs = ev.Value * 1e3
+			if s.Start.IsZero() { // begin evicted from the ring
+				s.Start = ev.At.Add(-time.Duration(ev.Value * float64(time.Second)))
+				s.Recovered = true
+			}
+			s.Incomplete = false
+		}
+	}
+	tl := &Timeline{Spans: len(spans)}
+	for _, id := range order {
+		s := spans[id]
+		switch {
+		case s.ParentID == 0:
+			tl.Roots = append(tl.Roots, s)
+		default:
+			if p, ok := spans[s.ParentID]; ok {
+				p.Children = append(p.Children, s)
+			} else {
+				tl.Orphans = append(tl.Orphans, s)
+			}
+		}
+	}
+	byStart := func(list []*TimelineSpan) {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Start.Before(list[j].Start) })
+	}
+	byStart(tl.Roots)
+	byStart(tl.Orphans)
+	var walk func(s *TimelineSpan)
+	walk = func(s *TimelineSpan) {
+		byStart(s.Children)
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tl.Roots {
+		walk(r)
+	}
+	return tl
+}
+
+// label renders one span's tree line: name, actor(@node), duration, and
+// state flags.
+func (s *TimelineSpan) label() string {
+	who := s.Actor
+	if s.Node != "" {
+		who += "@" + s.Node
+	}
+	line := s.Name
+	if who != "" {
+		line += " (" + who + ")"
+	}
+	switch {
+	case s.Incomplete:
+		line += " …incomplete"
+	default:
+		line += fmt.Sprintf(" %.2fms", s.DurationMs)
+	}
+	if s.Outcome != "" {
+		line += " [" + s.Outcome + "]"
+	}
+	if s.Recovered {
+		line += " (begin evicted)"
+	}
+	return line
+}
+
+// WriteTree renders the forest as a flamegraph-style text tree, one
+// trace per block, orphans flagged at the bottom.
+func (tl *Timeline) WriteTree(w io.Writer) error {
+	var branch func(s *TimelineSpan, prefix string, last bool) error
+	branch = func(s *TimelineSpan, prefix string, last bool) error {
+		tee, cont := "├── ", "│   "
+		if last {
+			tee, cont = "└── ", "    "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%s\n", prefix, tee, s.label()); err != nil {
+			return err
+		}
+		for i, c := range s.Children {
+			if err := branch(c, prefix+cont, i == len(s.Children)-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range tl.Roots {
+		if _, err := fmt.Fprintf(w, "trace %016x\n", r.TraceID); err != nil {
+			return err
+		}
+		if err := branch(r, "", true); err != nil {
+			return err
+		}
+	}
+	if len(tl.Orphans) > 0 {
+		if _, err := fmt.Fprintf(w, "ORPHANS (%d spans with missing parents)\n", len(tl.Orphans)); err != nil {
+			return err
+		}
+		for i, o := range tl.Orphans {
+			if err := branch(o, "", i == len(tl.Orphans)-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildTimelineForest(t *testing.T) {
+	tr := NewTracer(64)
+	tc := NewTraceContext(tr)
+	root := tc.StartRoot("epoch", "coord")
+	collect := tc.StartSpan("collect", "coord", root.Context())
+	collect.Finish()
+	solve := tc.StartSpan("solve", "worker-1", root.Context())
+	solve.FinishOutcome("ok")
+	root.Finish()
+
+	events, _ := tr.Snapshot()
+	tl := BuildTimeline(events)
+	if tl.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", tl.Spans)
+	}
+	if len(tl.Orphans) != 0 {
+		t.Fatalf("orphans = %d, want 0", len(tl.Orphans))
+	}
+	if len(tl.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tl.Roots))
+	}
+	r := tl.Roots[0]
+	if r.Name != "epoch" || len(r.Children) != 2 {
+		t.Fatalf("root wrong: %+v", r)
+	}
+	if r.Children[0].Name != "collect" || r.Children[1].Name != "solve" {
+		t.Fatalf("children order wrong: %s, %s", r.Children[0].Name, r.Children[1].Name)
+	}
+	if r.Children[1].Outcome != "ok" {
+		t.Fatalf("outcome lost: %+v", r.Children[1])
+	}
+	if r.Incomplete || r.Children[0].Incomplete {
+		t.Fatal("finished spans marked incomplete")
+	}
+}
+
+func TestBuildTimelineOrphanAndIncomplete(t *testing.T) {
+	tr := NewTracer(64)
+	tc := NewTraceContext(tr)
+	// A span claiming a parent that never emitted events is an orphan.
+	ghost := SpanContext{TraceID: 7, SpanID: 99}
+	orphan := tc.StartSpan("lost", "w", ghost)
+	orphan.Finish()
+	// A begin with no end is incomplete, not an orphan.
+	tc.StartRoot("running", "c")
+
+	events, _ := tr.Snapshot()
+	tl := BuildTimeline(events)
+	if len(tl.Orphans) != 1 || tl.Orphans[0].Name != "lost" {
+		t.Fatalf("orphans wrong: %+v", tl.Orphans)
+	}
+	if len(tl.Roots) != 1 || !tl.Roots[0].Incomplete {
+		t.Fatalf("incomplete root wrong: %+v", tl.Roots)
+	}
+}
+
+func TestBuildTimelineRecoversEvictedBegin(t *testing.T) {
+	// Hand-build an end-only event window: the begin was evicted.
+	end := time.Now()
+	events := []Event{{
+		Seq: 5, At: end, Type: EvSpanEnd, Actor: "w",
+		Value: 0.25, Detail: "solve:ok",
+		TraceID: 3, SpanID: 3,
+	}}
+	tl := BuildTimeline(events)
+	if len(tl.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tl.Roots))
+	}
+	s := tl.Roots[0]
+	if !s.Recovered || s.Incomplete {
+		t.Fatalf("expected recovered complete span: %+v", s)
+	}
+	wantStart := end.Add(-250 * time.Millisecond)
+	if d := s.Start.Sub(wantStart); d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("recovered start off by %v", d)
+	}
+	if s.DurationMs != 250 {
+		t.Fatalf("duration = %v, want 250", s.DurationMs)
+	}
+}
+
+func TestTimelineWriteTree(t *testing.T) {
+	tr := NewTracer(64)
+	tc := NewTraceContext(tr)
+	root := tc.StartRoot("epoch", "coord")
+	tc.StartSpan("solve", "worker-1", root.Context()).FinishOutcome("ok")
+	root.Finish()
+	events, _ := tr.Snapshot()
+	var sb strings.Builder
+	if err := BuildTimeline(events).WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trace ", "└── epoch (coord)", "└── solve (worker-1)", "[ok]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ORPHANS") {
+		t.Fatalf("unexpected orphan section:\n%s", out)
+	}
+}

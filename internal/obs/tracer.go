@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"sync"
 	"time"
 )
@@ -49,6 +51,21 @@ const (
 	// kernel: a window sample or the end-of-run summary (Detail = kind,
 	// Value = headline number: best utility or d_TV estimate).
 	EvConvergence
+	// EvSpanBegin opens a causal span (Detail = span name, Actor =
+	// component; the Event's TraceID/SpanID/ParentID locate it).
+	EvSpanBegin
+	// EvSpanEnd closes a causal span (Value = duration seconds, Detail =
+	// "name" or "name:outcome").
+	EvSpanEnd
+	// EvClockSync records an NTP-style clock-offset estimate against the
+	// session's reference clock (Value = seconds to ADD to this process's
+	// timestamps to land on the reference clock, Detail = round-trip
+	// time, Actor = worker). mvcom-trace -merge uses the per-dump median
+	// to align timelines from machines with skewed clocks.
+	EvClockSync
+
+	// evLast is the highest defined event type (JSON name lookup bound).
+	evLast = EvClockSync
 )
 
 // String names the event type for exposition.
@@ -82,6 +99,12 @@ func (t EventType) String() string {
 		return "dist_retry"
 	case EvConvergence:
 		return "se_convergence"
+	case EvSpanBegin:
+		return "span_begin"
+	case EvSpanEnd:
+		return "span_end"
+	case EvClockSync:
+		return "clock_sync"
 	default:
 		return "unknown"
 	}
@@ -99,7 +122,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for c := EvSERound; c <= EvConvergence; c++ {
+	for c := EvSERound; c <= evLast; c++ {
 		if c.String() == name {
 			*t = c
 			return nil
@@ -124,6 +147,15 @@ type Event struct {
 	Value float64 `json:"value,omitempty"`
 	// Detail is free-form context (message type, phase, error text).
 	Detail string `json:"detail,omitempty"`
+	// TraceID, SpanID, and ParentID locate a span event in its causal
+	// trace (zero on non-span events; see SpanContext).
+	TraceID  uint64 `json:"traceId,omitempty"`
+	SpanID   uint64 `json:"spanId,omitempty"`
+	ParentID uint64 `json:"parentId,omitempty"`
+	// Node names the process the event came from. Emitters leave it
+	// empty; mvcom-trace -merge stamps it per ingested dump so a merged
+	// timeline keeps the per-process attribution.
+	Node string `json:"node,omitempty"`
 }
 
 // Tracer is a bounded ring buffer of trace events. Writers never block
@@ -148,6 +180,13 @@ func NewTracer(capacity int) *Tracer {
 // Emit appends an event, evicting the oldest when full. Safe for
 // concurrent use; no-op on a nil tracer.
 func (t *Tracer) Emit(typ EventType, actor string, value float64, detail string) {
+	t.EmitSpan(typ, actor, value, detail, SpanContext{})
+}
+
+// EmitSpan is Emit carrying a span context — the begin/end event path of
+// the causal-tracing layer (span.go). Safe for concurrent use; no-op on
+// a nil tracer.
+func (t *Tracer) EmitSpan(typ EventType, actor string, value float64, detail string, sc SpanContext) {
 	if t == nil {
 		return
 	}
@@ -160,6 +199,7 @@ func (t *Tracer) Emit(typ EventType, actor string, value float64, detail string)
 	}
 	t.buf[seq%uint64(len(t.buf))] = Event{
 		Seq: seq, At: now, Type: typ, Actor: actor, Value: value, Detail: detail,
+		TraceID: sc.TraceID, SpanID: sc.SpanID, ParentID: sc.ParentID,
 	}
 	t.mu.Unlock()
 }
@@ -203,4 +243,76 @@ func (t *Tracer) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// Capacity returns the ring's bounded size (0 for nil).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// streamChunk bounds how many events StreamJSON copies out of the ring
+// per lock acquisition.
+const streamChunk = 256
+
+// StreamJSON writes the retained window as {"dropped":N,"events":[...]}
+// without materializing it: events are copied out in streamChunk-sized
+// batches under short lock holds and encoded as they go, so exporting a
+// large ring costs O(chunk) extra heap instead of O(capacity) — the
+// -trace-buf heap spike the pre-streaming export had. Events evicted by
+// concurrent writers mid-export are skipped (the dropped count in the
+// header is the value at export start). A nil tracer writes an empty
+// document.
+func (t *Tracer) StreamJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{\"dropped\":0,\"events\":[]}\n")
+		return err
+	}
+	t.mu.Lock()
+	n := t.next
+	capU := uint64(len(t.buf))
+	dropped := t.dropped
+	t.mu.Unlock()
+	start := uint64(0)
+	if n > capU {
+		start = n - capU
+	}
+	if _, err := fmt.Fprintf(w, "{\"dropped\":%d,\"events\":[", dropped); err != nil {
+		return err
+	}
+	chunk := make([]Event, 0, streamChunk)
+	first := true
+	for s := start; s < n; {
+		hi := s + streamChunk
+		if hi > n {
+			hi = n
+		}
+		chunk = chunk[:0]
+		t.mu.Lock()
+		for ; s < hi; s++ {
+			if ev := t.buf[s%capU]; ev.Seq == s {
+				chunk = append(chunk, ev)
+			}
+		}
+		t.mu.Unlock()
+		for i := range chunk {
+			raw, err := json.Marshal(chunk[i])
+			if err != nil {
+				return err
+			}
+			if !first {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := w.Write(raw); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
 }

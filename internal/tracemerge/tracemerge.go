@@ -1,0 +1,275 @@
+// Package tracemerge reconstructs a single causal timeline out of the
+// trace dumps of several mvcom processes (a coordinator plus its
+// workers). Each process exports its bounded ring buffer as
+// {"dropped":N,"events":[...]} — either a file saved from /trace or the
+// live endpoint itself — and this package stitches the dumps together:
+// it stamps every event with the process it came from, estimates each
+// process's clock offset against the coordinator from the EvClockSync
+// events the dist layer emits, shifts the skewed timestamps onto the
+// reference clock, and folds the merged stream through the same
+// obs.BuildTimeline used for single-process /debug/timeline views.
+package tracemerge
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mvcom/internal/obs"
+)
+
+// Dump is one process's ingested trace export.
+type Dump struct {
+	// Name identifies the process ("coordinator", "w0", ...); it is
+	// stamped into every event's Node field.
+	Name string
+	// Dropped is the exporter's evicted-event count at export time.
+	Dropped uint64
+	// Events is the retained window, Node-stamped, in export order.
+	Events []obs.Event
+}
+
+// ReadDump ingests one {"dropped":N,"events":[...]} document with a
+// streaming decoder — events are decoded one at a time, so a large dump
+// never needs a second in-memory copy of its raw JSON. Every event is
+// stamped with the dump name.
+func ReadDump(name string, r io.Reader) (*Dump, error) {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, fmt.Errorf("dump %s: %w", name, err)
+	}
+	d := &Dump{Name: name}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("dump %s: %w", name, err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "dropped":
+			if err := dec.Decode(&d.Dropped); err != nil {
+				return nil, fmt.Errorf("dump %s: dropped: %w", name, err)
+			}
+		case "events":
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, fmt.Errorf("dump %s: events: %w", name, err)
+			}
+			for dec.More() {
+				var ev obs.Event
+				if err := dec.Decode(&ev); err != nil {
+					return nil, fmt.Errorf("dump %s: event %d: %w", name, len(d.Events), err)
+				}
+				ev.Node = name
+				d.Events = append(d.Events, ev)
+			}
+			if _, err := dec.Token(); err != nil { // closing ]
+				return nil, fmt.Errorf("dump %s: %w", name, err)
+			}
+		default: // tolerate fields from newer exporters
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil, fmt.Errorf("dump %s: %q: %w", name, key, err)
+			}
+		}
+	}
+	return d, nil
+}
+
+// expectDelim consumes one token and checks it is the wanted delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("malformed trace dump: got %v, want %v", tok, want)
+	}
+	return nil
+}
+
+// FetchDump ingests a live process's trace over HTTP. A bare host:port
+// or a URL without a path is pointed at the /trace endpoint obs.Serve
+// exposes.
+func FetchDump(name, rawURL string) (*Dump, error) {
+	if !strings.Contains(rawURL, "://") {
+		rawURL = "http://" + rawURL
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("dump %s: %w", name, err)
+	}
+	if u.Path == "" || u.Path == "/" {
+		u.Path = "/trace"
+	}
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return nil, fmt.Errorf("dump %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dump %s: %s returned %s", name, u, resp.Status)
+	}
+	return ReadDump(name, resp.Body)
+}
+
+// Load ingests one "[name=]path-or-url" source. URLs (anything with a
+// scheme or a host:port shape that is not an existing file) are fetched
+// live; everything else is read from disk. Without an explicit name the
+// file base name (minus extension) or URL host is used.
+func Load(source string) (*Dump, error) {
+	name := ""
+	if i := strings.Index(source, "="); i > 0 && !strings.Contains(source[:i], "/") {
+		name, source = source[:i], source[i+1:]
+	}
+	if isURL(source) {
+		if name == "" {
+			if u, err := url.Parse(withScheme(source)); err == nil {
+				name = u.Host
+			} else {
+				name = source
+			}
+		}
+		return FetchDump(name, source)
+	}
+	if name == "" {
+		base := source
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i > 0 {
+			base = base[:i]
+		}
+		name = base
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDump(name, f)
+}
+
+// isURL reports whether a merge source should be fetched rather than
+// opened: explicit schemes always, host:port shapes only when no such
+// file exists on disk.
+func isURL(s string) bool {
+	if strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://") {
+		return true
+	}
+	if _, err := os.Stat(s); err == nil {
+		return false
+	}
+	// host:port with no path separators reads as a live endpoint.
+	i := strings.LastIndexByte(s, ':')
+	return i > 0 && !strings.ContainsAny(s, "/\\") && i < len(s)-1
+}
+
+func withScheme(s string) string {
+	if strings.Contains(s, "://") {
+		return s
+	}
+	return "http://" + s
+}
+
+// EstimateOffset returns the seconds to ADD to the dump's timestamps to
+// land on the coordinator's reference clock: the median of the dump's
+// EvClockSync offset estimates (each one an NTP-style midpoint computed
+// by the dist worker from the Progress/Best echo). A dump with no sync
+// samples — the coordinator itself, or a single-process run — is its own
+// reference and gets offset 0. The median keeps one congested round trip
+// from skewing the alignment.
+func EstimateOffset(d *Dump) (offsetSec float64, samples int) {
+	var vals []float64
+	for _, ev := range d.Events {
+		if ev.Type == obs.EvClockSync {
+			vals = append(vals, ev.Value)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], len(vals)
+	}
+	return (vals[mid-1] + vals[mid]) / 2, len(vals)
+}
+
+// NodeInfo summarizes one ingested dump in the merged artifact.
+type NodeInfo struct {
+	Name string `json:"name"`
+	// Events is the retained-window size that was merged.
+	Events int `json:"events"`
+	// Dropped is how much history the exporter's ring had evicted.
+	Dropped uint64 `json:"dropped"`
+	// OffsetSec is the clock correction applied to this node's events.
+	OffsetSec float64 `json:"offsetSec"`
+	// ClockSamples is how many EvClockSync estimates backed the offset
+	// (0 = reference node, no correction).
+	ClockSamples int `json:"clockSamples"`
+}
+
+// Merged is the cross-process reconstruction: per-node ingest stats plus
+// the causal forest over the clock-aligned union of all events.
+type Merged struct {
+	Nodes    []NodeInfo    `json:"nodes"`
+	Timeline *obs.Timeline `json:"timeline"`
+	// Events is the clock-aligned union, oldest first (offsets applied).
+	Events []obs.Event `json:"events"`
+}
+
+// Merge aligns the dumps onto the reference clock and reconstructs the
+// merged causal timeline. Span durations survive the shift exactly: the
+// timeline builder takes them from the end events' emitter-measured
+// values, never from shifted endpoint differences.
+func Merge(dumps []*Dump) *Merged {
+	m := &Merged{}
+	for _, d := range dumps {
+		off, n := EstimateOffset(d)
+		m.Nodes = append(m.Nodes, NodeInfo{
+			Name: d.Name, Events: len(d.Events), Dropped: d.Dropped,
+			OffsetSec: off, ClockSamples: n,
+		})
+		shift := time.Duration(off * float64(time.Second))
+		for _, ev := range d.Events {
+			ev.At = ev.At.Add(shift)
+			if ev.Node == "" {
+				ev.Node = d.Name
+			}
+			m.Events = append(m.Events, ev)
+		}
+	}
+	sort.SliceStable(m.Events, func(i, j int) bool { return m.Events[i].At.Before(m.Events[j].At) })
+	m.Timeline = obs.BuildTimeline(m.Events)
+	return m
+}
+
+// WriteJSON writes the merged artifact (node stats + timeline + aligned
+// events) as indented JSON — the CI soak uploads this document.
+func (m *Merged) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteTree renders the node summary and the flamegraph-style text tree.
+func (m *Merged) WriteTree(w io.Writer) error {
+	for _, n := range m.Nodes {
+		ref := ""
+		if n.ClockSamples == 0 {
+			ref = " (reference clock)"
+		}
+		if _, err := fmt.Fprintf(w, "node %-14s events=%d dropped=%d offset=%+.3fms%s\n",
+			n.Name, n.Events, n.Dropped, n.OffsetSec*1e3, ref); err != nil {
+			return err
+		}
+	}
+	return m.Timeline.WriteTree(w)
+}
