@@ -58,6 +58,7 @@ func run(args []string) error {
 		timeThresh  = fs.Float64("time-threshold", 0.10, "minimum relative ns/op slowdown gated as a regression")
 		allocThresh = fs.Float64("alloc-threshold", 0.01, "relative allocs/op growth gated as a regression")
 		noiseFactor = fs.Float64("noise-factor", 1.0, "widen the time threshold by this factor times the relative IQR")
+		warnOnly    = fs.Bool("warn-only", false, "with -old/-new: print regressions but always exit 0 (nightly informational diffs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,6 +143,10 @@ func run(args []string) error {
 			fmt.Println("note: environment fingerprints differ; wall-time gates degraded to warnings")
 		}
 		if regressed {
+			if *warnOnly {
+				fmt.Printf("warning: benchmark regression against %s (not gated: -warn-only)\n", *oldPath)
+				return nil
+			}
 			return fmt.Errorf("benchmark regression against %s", *oldPath)
 		}
 		fmt.Printf("no regression: %s vs %s (%d findings)\n", *oldPath, *newPath, len(findings))

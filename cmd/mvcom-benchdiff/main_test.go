@@ -54,6 +54,11 @@ func TestIngestAndDiffGate(t *testing.T) {
 	if err := run([]string{"-old", basePath, "-new", slowPath}); err == nil {
 		t.Fatal("20% slowdown passed the gate")
 	}
+	// -warn-only demotes the same regression to an exit-0 warning (the
+	// nightly informational diff).
+	if err := run([]string{"-old", basePath, "-new", slowPath, "-warn-only"}); err != nil {
+		t.Fatalf("-warn-only still failed: %v", err)
+	}
 }
 
 func TestPromoteLegacyMode(t *testing.T) {

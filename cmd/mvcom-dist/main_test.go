@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mvcom/internal/core"
+)
 
 func TestDemoMode(t *testing.T) {
 	args := []string{"-mode", "demo", "-workers", "2", "-shards", "16", "-capacity", "12000", "-timeout", "6s"}
@@ -37,5 +45,152 @@ func TestUnknownMode(t *testing.T) {
 func TestWorkerModeDialFailure(t *testing.T) {
 	if err := run([]string{"-mode", "worker", "-connect", "127.0.0.1:1", "-id", "w"}); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestWorkerLoopExitsCleanlyWhenCoordinatorGone(t *testing.T) {
+	// -loop turns a dead coordinator into a clean exit (after the grace
+	// window) instead of an error — the shutdown path of a cluster run.
+	err := run([]string{
+		"-mode", "worker", "-connect", "127.0.0.1:1", "-id", "w",
+		"-loop", "-loop-grace", "200ms",
+	})
+	if err != nil {
+		t.Fatalf("loop worker errored on vanished coordinator: %v", err)
+	}
+}
+
+func TestMultiEpochDemoWithResultJSON(t *testing.T) {
+	dir := t.TempDir()
+	resPath := filepath.Join(dir, "result.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	args := []string{
+		"-mode", "demo", "-workers", "2", "-shards", "16", "-capacity", "12000",
+		"-epochs", "3", "-iters", "3000", "-timeout", "8s",
+		"-result-json", resPath, "-trace-out", tracePath,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(resPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res runResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("result has %d epochs, want 3", len(res.Epochs))
+	}
+	if res.TasksAbandoned != 0 || res.LocalFallbacks != 0 {
+		t.Fatalf("clean run reported abandoned=%d fallbacks=%d", res.TasksAbandoned, res.LocalFallbacks)
+	}
+	best := 0.0
+	for i, ep := range res.Epochs {
+		if ep.Epoch != i {
+			t.Fatalf("epoch %d recorded as %d", i, ep.Epoch)
+		}
+		if ep.Utility <= 0 || ep.Count == 0 || len(ep.Selected) != ep.Count {
+			t.Fatalf("degenerate epoch result %+v", ep)
+		}
+		if ep.Utility > best {
+			best = ep.Utility
+		}
+	}
+	if res.BestUtility != best {
+		t.Fatalf("best_utility %.3f != max epoch utility %.3f", res.BestUtility, best)
+	}
+	// The trace dump must be the {"dropped":N,"events":[...]} document
+	// tracemerge ingests.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(traceData, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("trace dump holds no events")
+	}
+}
+
+func TestDemoTwinDeterminism(t *testing.T) {
+	// Two identical demo runs with early stop disabled must land on the
+	// exact same utilities — the property the cluster harness's
+	// chaos-vs-twin gate rests on.
+	dir := t.TempDir()
+	runOnce := func(path string) runResult {
+		t.Helper()
+		args := []string{
+			"-mode", "demo", "-workers", "2", "-shards", "12", "-capacity", "9000",
+			"-epochs", "2", "-iters", "2000", "-stable-reports", "1000000",
+			"-seed", "42", "-timeout", "8s", "-result-json", path,
+		}
+		if err := run(args); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res runResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := runOnce(filepath.Join(dir, "a.json"))
+	b := runOnce(filepath.Join(dir, "b.json"))
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i].Utility != b.Epochs[i].Utility {
+			t.Fatalf("epoch %d utility differs: %.6f vs %.6f", i, a.Epochs[i].Utility, b.Epochs[i].Utility)
+		}
+	}
+}
+
+func TestParseEvents(t *testing.T) {
+	evs, err := parseEvents("leave@2s:index=3; join@3500ms:index=3,size=500,latency=700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("parsed %d events", len(evs))
+	}
+	if evs[0].After != 2*time.Second || evs[0].Event.Kind != core.EventLeave || evs[0].Event.Index != 3 {
+		t.Fatalf("leave event %+v", evs[0])
+	}
+	if evs[1].After != 3500*time.Millisecond || evs[1].Event.Kind != core.EventJoin ||
+		evs[1].Event.Size != 500 || evs[1].Event.Latency != 700 {
+		t.Fatalf("join event %+v", evs[1])
+	}
+	if evs, err := parseEvents("  "); err != nil || evs != nil {
+		t.Fatalf("blank spec: %v %v", evs, err)
+	}
+	for _, bad := range []string{
+		"leave:index=3",          // no offset
+		"explode@1s:index=1",     // unknown kind
+		"leave@fast:index=1",     // bad offset
+		"leave@1s",               // leave without index
+		"join@1s",                // join without shape
+		"leave@1s:index=x",       // bad value
+		"leave@1s:index=1,wat=2", // unknown key
+		"leave@1s:index",         // malformed pair
+	} {
+		if _, err := parseEvents(bad); err == nil {
+			t.Fatalf("events spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRejectsBadEpochs(t *testing.T) {
+	if err := run([]string{"-mode", "demo", "-epochs", "0"}); err == nil {
+		t.Fatal("epochs=0 accepted")
 	}
 }

@@ -361,3 +361,27 @@ func TestCoordinatorStableReportsEarlyStop(t *testing.T) {
 		t.Fatal("empty solution")
 	}
 }
+
+func TestIsDialError(t *testing.T) {
+	// A port nothing listens on: grab one, close it, dial it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	w := Worker{ID: "probe", DialTimeout: time.Second}
+	_, err = w.Run(addr)
+	if err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+	if !IsDialError(err) {
+		t.Fatalf("IsDialError(%v) = false, want true", err)
+	}
+	if IsDialError(nil) {
+		t.Fatal("IsDialError(nil) = true")
+	}
+	if IsDialError(errors.New("dist: connection closed before task")) {
+		t.Fatal("non-dial error classified as dial failure")
+	}
+}

@@ -60,6 +60,19 @@ type Worker struct {
 	SEObs *obs.SEObserver
 }
 
+// IsDialError reports whether err comes from a failed dial — the
+// coordinator's address never answered (connection refused, no route,
+// dial timeout). Long-lived worker processes use it to tell "the
+// coordinator is gone, exit cleanly" from a session that died mid-task:
+// a dial failure after exhausted retries means there is no session left
+// to rejoin, while any other error happened on an established
+// connection. Injected worker.dial faults deliberately do not match —
+// they wrap faultinject.ErrInjected, not a *net.OpError.
+func IsDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
 // taskRef renders the failure-log correlation context for a task: its
 // ID (assigned by the coordinator) and dispatch attempt.
 func taskRef(task Task) string {

@@ -43,6 +43,14 @@ const (
 	// connection) and fail with Decision.Err. Sites without a transport
 	// treat it like ActError.
 	ActDrop
+	// ActKill is a process-level action: the supervising harness
+	// (internal/procharness) SIGKILLs the target process. Transport-level
+	// sites that cannot kill a process ignore it.
+	ActKill
+	// ActRestart is a process-level action: SIGKILL the target process,
+	// wait Decision.Delay (optional), and launch a fresh incarnation.
+	// Transport-level sites ignore it.
+	ActRestart
 )
 
 // String names the action for specs, logs, and metric labels.
@@ -56,6 +64,10 @@ func (a Action) String() string {
 		return "delay"
 	case ActDrop:
 		return "drop"
+	case ActKill:
+		return "kill"
+	case ActRestart:
+		return "restart"
 	default:
 		return "unknown"
 	}
@@ -75,7 +87,8 @@ type Rule struct {
 	Times int
 	// Action is what the site should do; ActNone defaults to ActError.
 	Action Action
-	// Delay is the sleep for ActDelay.
+	// Delay is the sleep for ActDelay, or the optional pause between the
+	// kill and the relaunch for ActRestart.
 	Delay time.Duration
 }
 

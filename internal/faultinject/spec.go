@@ -13,7 +13,8 @@ import (
 //	spec  := entry { ";" entry }
 //	entry := point [ ":" opt { "," opt } ]
 //	opt   := "prob=" float | "after=" int | "times=" int |
-//	         "action=" ( "error" | "delay" | "drop" ) | "delay=" duration
+//	         "action=" ( "error" | "delay" | "drop" | "kill" | "restart" ) |
+//	         "delay=" duration
 //
 // A bare point defaults to action=error firing on every hit. An empty
 // spec returns a nil injector (chaos off), preserving nil-is-off end to
@@ -59,6 +60,10 @@ func Parse(spec string, seed int64) (*Injector, error) {
 						r.Action = ActDelay
 					case "drop":
 						r.Action = ActDrop
+					case "kill":
+						r.Action = ActKill
+					case "restart":
+						r.Action = ActRestart
 					default:
 						err = fmt.Errorf("unknown action %q", val)
 					}

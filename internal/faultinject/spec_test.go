@@ -63,6 +63,26 @@ func TestParseDelayActionDefaultDuration(t *testing.T) {
 	}
 }
 
+func TestParseProcessActions(t *testing.T) {
+	in, err := Parse("proc.w1:times=1,action=kill;proc.w2:action=restart,delay=200ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.Eval("proc.w1"); d.Action != ActKill {
+		t.Fatalf("proc.w1 decision %+v, want kill", d)
+	}
+	if d := in.Eval("proc.w1"); d.Action != ActNone {
+		t.Fatal("kill fired past times=1")
+	}
+	d := in.Eval("proc.w2")
+	if d.Action != ActRestart || d.Delay != 200*time.Millisecond {
+		t.Fatalf("proc.w2 decision %+v, want restart with 200ms relaunch delay", d)
+	}
+	if ActKill.String() != "kill" || ActRestart.String() != "restart" {
+		t.Fatalf("action names %q %q", ActKill.String(), ActRestart.String())
+	}
+}
+
 func TestParseRejectsGarbage(t *testing.T) {
 	for _, spec := range []string{
 		"p:prob=abc",

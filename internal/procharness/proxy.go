@@ -1,0 +1,193 @@
+package procharness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP forwarder the harness interposes between processes so
+// a scenario can partition them without touching either process: the
+// front listener's address is handed to the client process instead of
+// the real target, Partition closes the listener and severs every
+// established connection (both sides see a hard connection reset, the
+// same signal a network partition or a crashed peer produces), and Heal
+// re-listens on the very same address so reconnect loops on the client
+// side find the path again.
+type Proxy struct {
+	name   string
+	target string
+
+	mu     sync.Mutex
+	ln     net.Listener
+	addr   string
+	conns  map[net.Conn]struct{}
+	down   bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// StartProxy starts a partitionable forwarder toward target
+// ("host:port") listening on an ephemeral loopback port. The proxy is
+// registered with the harness and shut down by Close.
+func (h *Harness) StartProxy(name, target string) (*Proxy, error) {
+	if name == "" || target == "" {
+		return nil, errors.New("procharness: proxy needs a name and a target")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("procharness: proxy %s: %w", name, err)
+	}
+	p := &Proxy{
+		name:   name,
+		target: target,
+		ln:     ln,
+		addr:   ln.Addr().String(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		_ = p.Close()
+		return nil, errors.New("procharness: harness closed")
+	}
+	if _, dup := h.proxies[name]; dup {
+		_ = p.Close()
+		return nil, fmt.Errorf("procharness: duplicate proxy %s", name)
+	}
+	h.proxies[name] = p
+	return p, nil
+}
+
+// Proxy returns a registered proxy by name (nil if unknown).
+func (h *Harness) ProxyByName(name string) *Proxy {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.proxies[name]
+}
+
+// Addr is the proxy's stable front address; it survives Partition/Heal
+// cycles so client configuration never changes.
+func (p *Proxy) Addr() string { return p.addr }
+
+// Partition closes the listener and severs every live connection. New
+// dials to Addr fail until Heal.
+func (p *Proxy) Partition() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("procharness: proxy closed")
+	}
+	if p.down {
+		p.mu.Unlock()
+		return nil
+	}
+	p.down = true
+	ln := p.ln
+	p.ln = nil
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		abort(c)
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// Heal re-listens on the proxy's original address, restoring the path.
+func (p *Proxy) Heal() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("procharness: proxy closed")
+	}
+	if !p.down {
+		return nil
+	}
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return fmt.Errorf("procharness: heal %s: %w", p.name, err)
+	}
+	p.ln = ln
+	p.down = false
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// Close partitions permanently and releases the address.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	err := p.Partition()
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	return err
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		client, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Partition/Close
+		}
+		upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			abort(client)
+			continue
+		}
+		p.mu.Lock()
+		if p.down || p.closed {
+			p.mu.Unlock()
+			abort(client)
+			abort(upstream)
+			return
+		}
+		p.conns[client] = struct{}{}
+		p.conns[upstream] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pipe(client, upstream)
+		go p.pipe(upstream, client)
+	}
+}
+
+// pipe copies src→dst until either side drops, then severs both so the
+// peer notices immediately.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	_, _ = io.Copy(dst, src)
+	abort(src)
+	abort(dst)
+	p.mu.Lock()
+	delete(p.conns, src)
+	delete(p.conns, dst)
+	p.mu.Unlock()
+}
+
+// abort closes a TCP connection with a RST instead of a graceful FIN,
+// which is how a partitioned or crashed peer actually presents.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}

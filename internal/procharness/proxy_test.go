@@ -1,0 +1,128 @@
+package procharness
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server for the proxy to front.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo:%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundtrip(addr, msg string) (string, error) {
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(c, "%s\n", msg); err != nil {
+		return "", err
+	}
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return line, nil
+}
+
+func TestProxyPartitionHeal(t *testing.T) {
+	backend := startEcho(t)
+	h := newTestHarness(t, Options{})
+	px, err := h.StartProxy("net", backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := px.Addr()
+
+	if got, err := roundtrip(addr, "hello"); err != nil || got != "echo:hello\n" {
+		t.Fatalf("through proxy: %q, %v", got, err)
+	}
+
+	// A connection alive across the partition must be severed.
+	live, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if _, err := fmt.Fprintf(live, "pre\n"); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := bufio.NewReader(live).ReadString('\n'); err != nil || line != "echo:pre\n" {
+		t.Fatalf("pre-partition roundtrip: %q, %v", line, err)
+	}
+
+	if err := px.Partition(); err != nil {
+		t.Fatal(err)
+	}
+	_ = live.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := bufio.NewReader(live).ReadString('\n'); err == nil {
+		t.Fatal("established connection survived the partition")
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("new dial succeeded while partitioned")
+	}
+
+	if err := px.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := roundtrip(addr, "back"); err != nil || got != "echo:back\n" {
+		t.Fatalf("after heal: %q, %v", got, err)
+	}
+	if px.Addr() != addr {
+		t.Fatalf("address changed across heal: %s -> %s", addr, px.Addr())
+	}
+
+	// Idempotence + close.
+	if err := px.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := px.Heal(); err == nil {
+		t.Fatal("heal succeeded on a closed proxy")
+	}
+}
+
+func TestProxyDuplicateAndLookup(t *testing.T) {
+	backend := startEcho(t)
+	h := newTestHarness(t, Options{})
+	if _, err := h.StartProxy("net", backend); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.StartProxy("net", backend); err == nil {
+		t.Fatal("duplicate proxy name accepted")
+	}
+	if h.ProxyByName("net") == nil {
+		t.Fatal("registered proxy not found")
+	}
+	if h.ProxyByName("ghost") != nil {
+		t.Fatal("phantom proxy found")
+	}
+}

@@ -1,0 +1,178 @@
+package procharness
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Scenario scripting: a scenario is a plain-text script, one operation
+// per line, '#' starting a comment. Operations:
+//
+//	start <proc>                launch a defined process
+//	wait-ready <proc> [dur]     block until its readiness probes pass
+//	kill <proc>                 SIGKILL its process group
+//	restart <proc>              kill (if alive) + fresh incarnation
+//	wait-exit <proc> [dur]      block until it exits (default 30s)
+//	sleep <dur>                 pause the script
+//	partition <proxy>           sever a named proxy
+//	heal <proxy>                restore a severed proxy
+//	chaos-tick                  one EvalProcFaults pass
+//
+// Durations use Go syntax (500ms, 2s). Parsing is strict — unknown
+// operations, missing arguments, or trailing tokens are errors with
+// line numbers — so a typo'd chaos script fails loudly instead of
+// silently skipping the kill it was supposed to inject.
+
+// Step is one parsed scenario operation.
+type Step struct {
+	Op     string
+	Target string
+	D      time.Duration
+	Line   int
+}
+
+// opShape describes an operation's argument contract.
+var opShapes = map[string]struct {
+	needsTarget bool
+	optionalDur bool
+	needsDur    bool
+}{
+	"start":      {needsTarget: true},
+	"kill":       {needsTarget: true},
+	"restart":    {needsTarget: true},
+	"wait-ready": {needsTarget: true, optionalDur: true},
+	"wait-exit":  {needsTarget: true, optionalDur: true},
+	"sleep":      {needsDur: true},
+	"partition":  {needsTarget: true},
+	"heal":       {needsTarget: true},
+	"chaos-tick": {},
+}
+
+// ParseScenario parses a scenario script, validating every line.
+func ParseScenario(r io.Reader) ([]Step, error) {
+	var steps []Step
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		op := strings.ToLower(fields[0])
+		shape, ok := opShapes[op]
+		if !ok {
+			return nil, fmt.Errorf("scenario line %d: unknown operation %q", line, fields[0])
+		}
+		step := Step{Op: op, Line: line}
+		args := fields[1:]
+		if shape.needsTarget {
+			if len(args) == 0 {
+				return nil, fmt.Errorf("scenario line %d: %s needs a target", line, op)
+			}
+			step.Target = args[0]
+			args = args[1:]
+		}
+		switch {
+		case shape.needsDur:
+			if len(args) == 0 {
+				return nil, fmt.Errorf("scenario line %d: %s needs a duration", line, op)
+			}
+			d, err := time.ParseDuration(args[0])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("scenario line %d: bad duration %q", line, args[0])
+			}
+			step.D = d
+			args = args[1:]
+		case shape.optionalDur && len(args) > 0:
+			d, err := time.ParseDuration(args[0])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("scenario line %d: bad duration %q", line, args[0])
+			}
+			step.D = d
+			args = args[1:]
+		}
+		if len(args) > 0 {
+			return nil, fmt.Errorf("scenario line %d: trailing tokens %v", line, args)
+		}
+		steps = append(steps, step)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// ParseScenarioString parses a scenario held in a string.
+func ParseScenarioString(s string) ([]Step, error) {
+	return ParseScenario(strings.NewReader(s))
+}
+
+// RunScenario executes parsed steps in order, stopping at the first
+// failure (annotated with the script line).
+func (h *Harness) RunScenario(steps []Step) error {
+	for _, st := range steps {
+		if err := h.runStep(st); err != nil {
+			return fmt.Errorf("scenario line %d (%s %s): %w", st.Line, st.Op, st.Target, err)
+		}
+	}
+	return nil
+}
+
+func (h *Harness) runStep(st Step) error {
+	switch st.Op {
+	case "start":
+		_, err := h.Start(st.Target)
+		return err
+	case "kill":
+		return h.Kill(st.Target)
+	case "restart":
+		_, err := h.Restart(st.Target)
+		return err
+	case "wait-ready":
+		if st.D > 0 {
+			h.mu.Lock()
+			if spec, ok := h.specs[st.Target]; ok {
+				spec.ReadyTimeout = st.D
+				h.specs[st.Target] = spec
+			}
+			h.mu.Unlock()
+		}
+		_, err := h.WaitReady(st.Target)
+		return err
+	case "wait-exit":
+		d := st.D
+		if d == 0 {
+			d = 30 * time.Second
+		}
+		_, err := h.WaitExit(st.Target, d)
+		return err
+	case "sleep":
+		time.Sleep(st.D)
+		return nil
+	case "partition":
+		px := h.ProxyByName(st.Target)
+		if px == nil {
+			return fmt.Errorf("unknown proxy %s", st.Target)
+		}
+		return px.Partition()
+	case "heal":
+		px := h.ProxyByName(st.Target)
+		if px == nil {
+			return fmt.Errorf("unknown proxy %s", st.Target)
+		}
+		return px.Heal()
+	case "chaos-tick":
+		h.EvalProcFaults()
+		return nil
+	default:
+		return fmt.Errorf("unknown operation %q", st.Op)
+	}
+}

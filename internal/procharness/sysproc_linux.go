@@ -1,0 +1,25 @@
+//go:build linux
+
+package procharness
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setSysProcAttr puts the child in its own process group (so a kill
+// takes any grandchildren too) and arms PDEATHSIG so that a harness
+// that dies without Close still cannot leak children.
+func setSysProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true, Pdeathsig: syscall.SIGKILL}
+}
+
+// killGroup SIGKILLs the child's whole process group.
+func killGroup(pid int) {
+	_ = syscall.Kill(-pid, syscall.SIGKILL)
+}
+
+// pidAlive reports whether the pid exists (signal 0 probe).
+func pidAlive(pid int) bool {
+	return syscall.Kill(pid, 0) == nil
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package procharness
+
+import "os/exec"
+
+// setSysProcAttr is a no-op outside unix; Proc.kill falls back to
+// Process.Kill on the child alone.
+func setSysProcAttr(cmd *exec.Cmd) {}
+
+// killGroup is a no-op outside unix (Proc.kill still calls
+// Process.Kill on the child itself).
+func killGroup(pid int) {}
+
+// pidAlive cannot be probed portably without unix signals; report not
+// alive so leak checks degrade to the harness's own reap bookkeeping.
+func pidAlive(pid int) bool { return false }

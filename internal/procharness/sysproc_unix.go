@@ -1,0 +1,25 @@
+//go:build unix && !linux
+
+package procharness
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setSysProcAttr puts the child in its own process group so a kill
+// takes any grandchildren too. PDEATHSIG is Linux-only; elsewhere the
+// orphan-free guarantee rests on Close.
+func setSysProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killGroup SIGKILLs the child's whole process group.
+func killGroup(pid int) {
+	_ = syscall.Kill(-pid, syscall.SIGKILL)
+}
+
+// pidAlive reports whether the pid exists (signal 0 probe).
+func pidAlive(pid int) bool {
+	return syscall.Kill(pid, 0) == nil
+}
