@@ -15,11 +15,14 @@ import (
 	"mvcom"
 	"mvcom/internal/baseline"
 	"mvcom/internal/core"
+	"mvcom/internal/decisionlog"
+	"mvcom/internal/epoch"
 	"mvcom/internal/experiments"
 	"mvcom/internal/metrics"
 	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/seobs"
+	"mvcom/internal/txgen"
 )
 
 const benchScale = 0.05
@@ -535,6 +538,90 @@ func BenchmarkEpochPipeline(b *testing.B) {
 		o := metrics.Outcome(res.Epoch, &res.Instance, res.Solution)
 		b.ReportMetric(o.Throughput(), "tx/s")
 	}
+}
+
+// BenchmarkEpochServeDecisionLog measures the decision-journal overhead
+// gate: two identical pipelines advance through epochs in lockstep — one
+// journaling every committed decision to disk (full provenance record:
+// shard reports, fingerprint, marginals, counterfactuals), the other
+// with the journal off (the nil-is-off contract). Variants interleave
+// within each iteration, alternating order, so machine-load drift cannot
+// masquerade as journal cost; utilities must match exactly because the
+// journal may observe the decision but never perturb it.
+//
+// The timed window covers RunEpoch only — what the serve path pays:
+// Acquire, the decision fill (marginals, counterfactuals, deferral
+// attribution), and the writer handoff. The background writer drains
+// via Sync between windows, untimed: on a multi-core host its
+// render/write CPU overlaps the solve, but CI may run on a single core
+// where nothing overlaps and device writeback throttling would gate the
+// solver on disk speed. The writer's own cost is pinned separately by
+// BenchmarkJournalAppend and BenchmarkAppendEntryJSON in
+// internal/decisionlog. ci.sh fails the build when journal-on/off
+// exceeds 1.03.
+func BenchmarkEpochServeDecisionLog(b *testing.B) {
+	newPipe := func(j *decisionlog.Journal) *epoch.Pipeline {
+		p, err := epoch.NewPipeline(epoch.Config{
+			Committees:    24,
+			CommitteeSize: 8,
+			Trace:         txgen.Config{Blocks: 240, MeanTxs: 80},
+			Seed:          1,
+			MaxDeferrals:  2,
+			DecisionLog:   j,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	j, err := decisionlog.Open(decisionlog.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	pOn := newPipe(j)
+	pOff := newPipe(nil)
+	// Soak-like steady state: 60% capacity and MaxDeferrals=2 keep the
+	// deferral queue bounded at any b.N, and the solver runs the soak's
+	// default 2000-round budget so the gate measures the journal against
+	// the epoch cost the serve path actually pays.
+	capacity := pOff.Trace().TotalTxs() * 3 / 5
+	sched := epoch.SolverScheduler{Solver: core.NewSE(core.SEConfig{Seed: 7, MaxIters: 2000, ConvergenceWindow: 2000})}
+	runOne := func(p *epoch.Pipeline) float64 {
+		res, err := p.RunEpoch(sched, 1.5, capacity, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Solution.Utility
+	}
+	var off, on time.Duration
+	for i := 0; i < b.N; i++ {
+		var uOff, uOn float64
+		if i%2 == 0 {
+			start := time.Now()
+			uOff = runOne(pOff)
+			mid := time.Now()
+			uOn = runOne(pOn)
+			on += time.Since(mid)
+			off += mid.Sub(start)
+		} else {
+			start := time.Now()
+			uOn = runOne(pOn)
+			mid := time.Now()
+			uOff = runOne(pOff)
+			off += time.Since(mid)
+			on += mid.Sub(start)
+		}
+		if uOff != uOn {
+			b.Fatalf("journal changed the decision: %v vs %v", uOff, uOn)
+		}
+		// Drain the async writer outside the timed windows (see the
+		// benchmark comment).
+		if err := j.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(on)/float64(off), "journal-on/off")
 }
 
 // BenchmarkAblationThreadLattice compares the per-cardinality thread

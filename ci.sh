@@ -28,6 +28,12 @@ stage_fast() {
 
 	go build ./...
 	go vet ./...
+
+	# Metrics-name lint (OBSERVABILITY.md): every metric the binaries can
+	# register must match ^mvcom_[a-z0-9_]+$ and appear in the committed
+	# docs/metrics.txt index, so a new metric cannot ship undocumented.
+	go test -run '^TestMetricsNamesDocumented$' .
+
 	go test -race -timeout 10m ./...
 
 	# Order-independence gate: the full suite again with a shuffled test
@@ -145,6 +151,24 @@ stage_bench() {
 	go run ./cmd/mvcom-benchdiff -old BENCH_MVCOM.json -new results/BENCH_MVCOM.json \
 		-time-threshold 0.35
 
+	# Decision-journal overhead gate (DESIGN.md §5j): the serve path with
+	# the provenance journal attached (acquire + decision fill + writer
+	# handoff; the async writer drains between timed windows) must stay
+	# within 3% of the journal-off run. The benchmark drives two lockstep
+	# pipelines and interleaves them per iteration (alternating order),
+	# asserting the journal never changes the decision; best of five
+	# repetitions, same rationale as the obs overhead gate above.
+	declog_out="$(go test -run '^$' -bench '^BenchmarkEpochServeDecisionLog$' -benchtime 300x -count 5 -timeout 20m .)"
+	echo "$declog_out"
+	echo "$declog_out" > results/declog_bench.txt
+	echo "$declog_out" | awk '
+		/^BenchmarkEpochServeDecisionLog/ { seen = 1; if (!best || $5 < best) best = $5 }
+		END {
+			if (!seen) { print "decision-log gate: missing samples" > "/dev/stderr"; exit 1 }
+			printf "decision-log overhead: journal-on/off = %.4f (gate 1.03)\n", best
+			if (best > 1.03) { print "decision-log gate: journaling overhead above 3%" > "/dev/stderr"; exit 1 }
+		}'
+
 	# Kernel profiles: CPU and heap profiles of a representative figure run,
 	# published as CI artifacts for offline flamegraph inspection.
 	go run ./cmd/mvcom-bench -fig 8 -scale 0.2 \
@@ -165,10 +189,14 @@ stage_soak() {
 	# The soak also exports its merged causal timeline (epoch root spans
 	# with per-phase children, clock-aligned by internal/tracemerge) to a
 	# JSON artifact CI uploads for offline flamegraph inspection.
+	# The run also writes the decision-provenance journal and replay-verifies
+	# it as an exit gate: every journaled SE epoch must re-solve to the
+	# bit-identical committee set (DESIGN.md §5j).
 	go run ./cmd/mvcom-soak -epochs 50 -se-iters 800 \
 		-fault-spec 'epoch.committee:prob=0.2' \
 		-journal results/BENCH_SOAK.json -note "ci soak smoke" \
-		-timeline results/soak_timeline.json
+		-timeline results/soak_timeline.json \
+		-decision-log results/soak_decisions
 	go run ./cmd/mvcom-benchdiff -old BENCH_SOAK.json -new results/BENCH_SOAK.json \
 		-time-threshold 0.35
 

@@ -33,8 +33,10 @@ import (
 	"strings"
 	"time"
 
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/faultinject"
 	"mvcom/internal/procharness"
+	"mvcom/internal/tracemerge"
 )
 
 func main() {
@@ -61,25 +63,33 @@ type procInfo struct {
 }
 
 // summary is the machine-readable outcome written to summary.json.
+// Nodes carries the merged timeline's per-process ingest stats —
+// trace-ring fill (events retained) and drop counts plus each worker's
+// estimated clock offset against the coordinator's reference clock — so
+// a CI run's alignment quality is auditable without re-opening the
+// timeline artifact.
 type summary struct {
-	Addr            string     `json:"coordinator_addr"`
-	Workers         int        `json:"workers"`
-	Epochs          int        `json:"epochs"`
-	ChaosSpec       string     `json:"chaos_spec"`
-	Restarts        int        `json:"restarts"`
-	EpochUtilities  []float64  `json:"epoch_utilities"`
-	TwinUtilities   []float64  `json:"twin_utilities,omitempty"`
-	BestUtility     float64    `json:"best_utility"`
-	TwinBest        float64    `json:"twin_best,omitempty"`
-	TasksReassigned int64      `json:"tasks_reassigned"`
-	TasksAbandoned  int64      `json:"tasks_abandoned"`
-	LocalFallbacks  int64      `json:"local_fallbacks"`
-	MergedDumps     int        `json:"merged_dumps"`
-	Spans           int        `json:"spans"`
-	Orphans         int        `json:"orphan_spans"`
-	Procs           []procInfo `json:"procs"`
-	Gates           []gate     `json:"gates"`
-	Pass            bool       `json:"pass"`
+	Addr            string                   `json:"coordinator_addr"`
+	Workers         int                      `json:"workers"`
+	Epochs          int                      `json:"epochs"`
+	ChaosSpec       string                   `json:"chaos_spec"`
+	Restarts        int                      `json:"restarts"`
+	EpochUtilities  []float64                `json:"epoch_utilities"`
+	TwinUtilities   []float64                `json:"twin_utilities,omitempty"`
+	BestUtility     float64                  `json:"best_utility"`
+	TwinBest        float64                  `json:"twin_best,omitempty"`
+	TasksReassigned int64                    `json:"tasks_reassigned"`
+	TasksAbandoned  int64                    `json:"tasks_abandoned"`
+	LocalFallbacks  int64                    `json:"local_fallbacks"`
+	Decisions       *decisionlog.VerifyStats `json:"decisions,omitempty"`
+	MergedDumps     int                      `json:"merged_dumps"`
+	Spans           int                      `json:"spans"`
+	Orphans         int                      `json:"orphan_spans"`
+	Nodes           []tracemerge.NodeInfo    `json:"nodes,omitempty"`
+	MergeWarnings   []string                 `json:"merge_warnings,omitempty"`
+	Procs           []procInfo               `json:"procs"`
+	Gates           []gate                   `json:"gates"`
+	Pass            bool                     `json:"pass"`
 }
 
 // distResult mirrors mvcom-dist's -result-json document.
@@ -89,10 +99,11 @@ type distResult struct {
 		Utility  float64 `json:"utility"`
 		Selected []int   `json:"selected"`
 	} `json:"epochs"`
-	BestUtility     float64 `json:"best_utility"`
-	TasksReassigned int64   `json:"tasks_reassigned"`
-	TasksAbandoned  int64   `json:"tasks_abandoned"`
-	LocalFallbacks  int64   `json:"local_fallbacks"`
+	BestUtility     float64                  `json:"best_utility"`
+	TasksReassigned int64                    `json:"tasks_reassigned"`
+	TasksAbandoned  int64                    `json:"tasks_abandoned"`
+	LocalFallbacks  int64                    `json:"local_fallbacks"`
+	Decisions       *decisionlog.VerifyStats `json:"decisions"`
 }
 
 func run(args []string) error {
@@ -190,6 +201,7 @@ func run(args []string) error {
 	// Stage 2: coordinator with an ephemeral port, discovered through
 	// the readiness probe's capture group; likewise its metrics port.
 	coordResult := filepath.Join(*outDir, "coordinator_result.json")
+	decisionsDir := filepath.Join(*outDir, "decisions")
 	coordArgs := []string{
 		"-mode", "coordinator", "-listen", "127.0.0.1:0",
 		"-workers", strconv.Itoa(*workers), "-epochs", strconv.Itoa(*epochs),
@@ -203,6 +215,7 @@ func run(args []string) error {
 		"-metrics-addr", "127.0.0.1:0",
 		"-result-json", coordResult,
 		"-trace-out", filepath.Join(*outDir, "coordinator_trace.json"),
+		"-decision-log", decisionsDir,
 	}
 	if *events != "" {
 		coordArgs = append(coordArgs, "-events", *events)
@@ -323,6 +336,7 @@ func run(args []string) error {
 	gates = append(gates,
 		gate{Name: "no-abandoned-tasks", Pass: res.TasksAbandoned == 0, Detail: fmt.Sprintf("abandoned=%d", res.TasksAbandoned)},
 		gate{Name: "no-local-fallbacks", Pass: res.LocalFallbacks == 0, Detail: fmt.Sprintf("fallbacks=%d", res.LocalFallbacks)},
+		decisionGate(res.Decisions, *epochs, *events != ""),
 	)
 	if *kill != "" && *procFault == "" && *scenario == "" {
 		gates = append(gates, gate{
@@ -400,6 +414,19 @@ func run(args []string) error {
 		Name: "zero-orphan-spans", Pass: orphans == 0,
 		Detail: fmt.Sprintf("dumps=%d spans=%d orphans=%d", dumps, spans, orphans),
 	})
+	// Lift the merged timeline's per-node ingest stats (ring fill/drops,
+	// clock-offset estimates) and alignment warnings into the summary.
+	var merged struct {
+		Nodes    []tracemerge.NodeInfo `json:"nodes"`
+		Warnings []string              `json:"warnings"`
+	}
+	if err := readJSON(timeline, &merged); err != nil {
+		return fmt.Errorf("merged timeline: %w", err)
+	}
+	for _, n := range merged.Nodes {
+		fmt.Printf("node %-14s events=%-6d dropped=%-6d offset=%+.6fs (%d clock samples)\n",
+			n.Name, n.Events, n.Dropped, n.OffsetSec, n.ClockSamples)
+	}
 	if *treeOut {
 		treeArgs := append([]string{"-merge", "-tree", "-out", filepath.Join(*outDir, "cluster_timeline.txt")}, sources...)
 		if err := h.Define(procharness.Spec{Name: "merge-tree", Path: traceBin, Args: treeArgs}); err != nil {
@@ -438,8 +465,9 @@ func run(args []string) error {
 		Restarts:       restarts,
 		EpochUtilities: utilities(res), BestUtility: res.BestUtility,
 		TasksReassigned: res.TasksReassigned, TasksAbandoned: res.TasksAbandoned,
-		LocalFallbacks: res.LocalFallbacks,
-		MergedDumps:    dumps, Spans: spans, Orphans: orphans,
+		LocalFallbacks: res.LocalFallbacks, Decisions: res.Decisions,
+		MergedDumps: dumps, Spans: spans, Orphans: orphans,
+		Nodes: merged.Nodes, MergeWarnings: merged.Warnings,
 		Procs: infos, Gates: gates, Pass: true,
 	}
 	if *twin {
@@ -527,6 +555,25 @@ func parseMergeStats(out string) (dumps, spans, orphans int, err error) {
 	spans, _ = strconv.Atoi(m[2])
 	orphans, _ = strconv.Atoi(m[3])
 	return dumps, spans, orphans, nil
+}
+
+// decisionGate judges the coordinator's decision-journal verification: a
+// journal must exist with one entry per epoch and zero replay failures,
+// and — absent dynamic events, which legitimately mark entries
+// non-replayable — every entry must have replayed bit-identically, chaos
+// notwithstanding.
+func decisionGate(d *decisionlog.VerifyStats, epochs int, hasEvents bool) gate {
+	if d == nil {
+		return gate{Name: "decision-replay", Pass: false, Detail: "coordinator result has no decisions block"}
+	}
+	pass := d.Entries == epochs && d.Failed == 0
+	if !hasEvents {
+		pass = pass && d.Replayed == d.Entries
+	}
+	return gate{
+		Name: "decision-replay", Pass: pass,
+		Detail: fmt.Sprintf("entries=%d replayed=%d skipped=%d failed=%d", d.Entries, d.Replayed, d.Skipped, d.Failed),
+	}
 }
 
 // utilitiesEqual requires the chaos run and its twin to agree on every

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"mvcom/internal/core"
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/dist"
 	"mvcom/internal/experiments"
 	"mvcom/internal/faultinject"
@@ -62,13 +63,16 @@ type epochResult struct {
 // runResult is the -result-json document. The counters make the chaos
 // gates checkable from outside the process: a clean run must show zero
 // abandoned tasks and zero local fallbacks, and a run that survived a
-// worker kill shows the reassignments that absorbed it.
+// worker kill shows the reassignments that absorbed it. Decisions is
+// present when -decision-log was set: the end-of-run replay verification
+// over the journal.
 type runResult struct {
-	Epochs          []epochResult `json:"epochs"`
-	BestUtility     float64       `json:"best_utility"`
-	TasksReassigned int64         `json:"tasks_reassigned"`
-	TasksAbandoned  int64         `json:"tasks_abandoned"`
-	LocalFallbacks  int64         `json:"local_fallbacks"`
+	Epochs          []epochResult            `json:"epochs"`
+	BestUtility     float64                  `json:"best_utility"`
+	TasksReassigned int64                    `json:"tasks_reassigned"`
+	TasksAbandoned  int64                    `json:"tasks_abandoned"`
+	LocalFallbacks  int64                    `json:"local_fallbacks"`
+	Decisions       *decisionlog.VerifyStats `json:"decisions,omitempty"`
 }
 
 func run(args []string) error {
@@ -96,6 +100,7 @@ func run(args []string) error {
 		traceCSV  = fs.String("trace-csv", "", "build instances from this txgen CSV trace instead of the synthetic paper trace")
 		traceOut  = fs.String("trace-out", "", "write this process's span dump (the /trace format) here on clean exit")
 		resultOut = fs.String("result-json", "", "write the run summary (per-epoch utilities + recovery counters) here")
+		decLogDir = fs.String("decision-log", "", "coordinator/demo: write the schema-versioned decision journal (one entry per epoch) to this directory and replay-verify it on clean exit")
 		stableRep = fs.Int("stable-reports", 0, "early-stop after this many unimproved progress reports (0 = default 20; use a huge value to disable early stop for deterministic twin runs)")
 		iters     = fs.Int("iters", 0, "iteration cap per worker task (0 = default 20000)")
 		repEvery  = fs.Int("report-every", 0, "progress report cadence in iterations (0 = default 200)")
@@ -215,6 +220,14 @@ func run(args []string) error {
 
 	case "coordinator", "demo":
 		coObs := obs.NewDistObserver(reg, "coordinator")
+		var dj *decisionlog.Journal
+		if *decLogDir != "" {
+			dj, err = decisionlog.Open(decisionlog.Options{Dir: *decLogDir, Registry: reg})
+			if err != nil {
+				return err
+			}
+			defer dj.Close()
+		}
 		bindAddr := *listen
 		if *mode == "demo" {
 			bindAddr = "127.0.0.1:0"
@@ -302,6 +315,12 @@ func run(args []string) error {
 				Epoch: e, Utility: sol.Utility, Count: sol.Count, Load: sol.Load,
 				Iterations: sol.Iterations, Selected: selected,
 			})
+			if de := dj.Acquire(); de != nil {
+				fillDistEntry(de, e, co, inst, sol, selected, len(events) > 0)
+				if err := dj.Append(de); err != nil {
+					return fmt.Errorf("epoch %d: decision journal: %w", e, err)
+				}
+			}
 			if sol.Utility > best {
 				best = sol.Utility
 			}
@@ -310,8 +329,22 @@ func run(args []string) error {
 		fmt.Printf("converged: %d committees permitted, %d TXs, utility %.1f\n", lastSol.Count, lastSol.Load, lastSol.Utility)
 		fmt.Printf("capacity use %.1f%%, Nmin=%d satisfied=%v\n",
 			100*float64(lastSol.Load)/float64(lastInst.Capacity), lastInst.Nmin, lastSol.Count >= lastInst.Nmin)
+		var decStats *decisionlog.VerifyStats
+		if dj != nil {
+			if err := dj.Sync(); err != nil {
+				return err
+			}
+			st, err := decisionlog.VerifyDir(dj.Dir())
+			if err != nil {
+				return err
+			}
+			dj.ReplayVerified(st.Ok())
+			decStats = &st
+			fmt.Printf("decision journal: %d entries, %d replayed, %d skipped, %d failed\n",
+				st.Entries, st.Replayed, st.Skipped, st.Failed)
+		}
 		if *resultOut != "" {
-			out := runResult{Epochs: results, BestUtility: best}
+			out := runResult{Epochs: results, BestUtility: best, Decisions: decStats}
 			if coObs != nil {
 				out.TasksReassigned = coObs.TasksReassigned.Value()
 				out.TasksAbandoned = coObs.TasksAbandoned.Value()
@@ -325,10 +358,76 @@ func run(args []string) error {
 				return err
 			}
 		}
+		// Fail after the summary is on disk so a divergence is diagnosable
+		// from the artifacts.
+		if decStats != nil && !decStats.Ok() {
+			return fmt.Errorf("decision replay: %d of %d entries diverged: %s",
+				decStats.Failed, decStats.Entries, strings.Join(decStats.Errors, "; "))
+		}
 		return nil
 
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+// fillDistEntry records one distributed epoch's decision. A clean run is
+// replayable from the per-task records — each worker's engine is a
+// deterministic function of (instance, solver config, task seed) stepped
+// exactly the recorded number of rounds — and a local-fallback run from
+// the coordinator's own SE fingerprint. Runs with dynamic events or the
+// adaptive schedule are journaled for audit but marked non-replayable:
+// their trajectories depend on wall-clock arrival times, not just the
+// recorded inputs.
+func fillDistEntry(e *decisionlog.Entry, epoch int, co *dist.Coordinator, in core.Instance, sol core.Solution, selected []int, hasEvents bool) {
+	e.Epoch = epoch
+	e.DDL = in.DDL
+	e.Alpha = in.Alpha
+	e.Capacity = in.Capacity
+	e.Nmin = in.Nmin
+	for i := range in.Sizes {
+		e.Shards = append(e.Shards, decisionlog.ShardRecord{
+			Committee: i, Size: in.Sizes[i], Latency: in.Latencies[i], Age: in.Age(i),
+		})
+	}
+	e.Selected = append(e.Selected, selected...)
+	e.Utility = sol.Utility
+	e.Load = sol.Load
+	e.Count = sol.Count
+	e.Iterations = sol.Iterations
+	e.Marginals = core.MarginalsInto(e.Marginals, &in, sol)
+	e.Rejected = core.RejectedCounterfactualsInto(e.Rejected, &in, sol, 8)
+
+	eff := core.NewSE(co.SolverConfig()).Config()
+	tasks, local := co.TaskResults()
+	if local {
+		e.Solver = decisionlog.FingerprintSE(eff)
+	} else {
+		e.Solver = decisionlog.SolverFingerprint{
+			Kind: decisionlog.KindDist, Seed: eff.Seed, Beta: eff.Beta, Tau: eff.Tau,
+			Gamma: eff.Gamma, Workers: eff.Workers, MaxIters: eff.MaxIters, Adaptive: eff.Adaptive,
+		}
+		for _, r := range tasks {
+			tr := decisionlog.TaskRecord{TaskID: r.TaskID, Iterations: r.Iterations, Utility: r.Utility, Err: r.Err}
+			var g int
+			if _, err := fmt.Sscanf(r.TaskID, "task-%d", &g); err == nil {
+				tr.Seed = co.TaskSeed(g)
+			}
+			if r.Err == "" && r.Selected != nil {
+				for i, on := range r.Selected {
+					if on {
+						tr.Selected = append(tr.Selected, i)
+					}
+				}
+			}
+			e.Tasks = append(e.Tasks, tr)
+		}
+	}
+	switch {
+	case hasEvents:
+		e.NonReplayable = "events"
+	case !local && eff.Adaptive:
+		e.NonReplayable = "adaptive-dist"
 	}
 }
 

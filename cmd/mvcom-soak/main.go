@@ -25,6 +25,7 @@ import (
 
 	"mvcom/internal/benchjournal"
 	"mvcom/internal/core"
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/epoch"
 	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
@@ -170,6 +171,7 @@ func run(args []string) error {
 		metrAddr    = fs.String("metrics-addr", "", "serve live metrics on this address (e.g. 127.0.0.1:9100); empty disables")
 		traceBuf    = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 		timeline    = fs.String("timeline", "", "write the run's merged causal timeline (JSON) to this path after the soak")
+		decLogDir   = fs.String("decision-log", "", "write the schema-versioned decision journal (one entry per epoch) to this directory and replay-verify it as a gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -197,6 +199,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var dj *decisionlog.Journal
+	if *decLogDir != "" {
+		dj, err = decisionlog.Open(decisionlog.Options{Dir: *decLogDir, Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer dj.Close()
+	}
 	p, err := epoch.NewPipeline(epoch.Config{
 		Committees:    *committees,
 		CommitteeSize: *size,
@@ -207,8 +217,9 @@ func run(args []string) error {
 			Blocks:  *committees * 3,
 			MeanTxs: 1200,
 		},
-		Seed: *seed,
-		Obs:  obs.NewEpochObserver(reg),
+		Seed:        *seed,
+		Obs:         obs.NewEpochObserver(reg),
+		DecisionLog: dj,
 	})
 	if err != nil {
 		return err
@@ -293,6 +304,12 @@ func run(args []string) error {
 		failed = true
 		fmt.Println("GATE FAIL: warm start requested but no epoch recorded a warm-start event")
 	}
+	if dj != nil {
+		if err := gateDecisionReplay(dj, stream.served); err != nil {
+			failed = true
+			fmt.Println("GATE FAIL:", err)
+		}
+	}
 
 	if *journalPath != "" {
 		if err := writeJournal(*journalPath, *note, stream.windows); err != nil {
@@ -309,6 +326,35 @@ func run(args []string) error {
 		return fmt.Errorf("soak gates failed after %d epochs", stream.served)
 	}
 	fmt.Println("soak gates passed: goroutines at baseline, heap bounded")
+	return nil
+}
+
+// gateDecisionReplay re-runs every journaled epoch decision and demands
+// a bit-identical reproduction. Segment rotation may prune the oldest
+// entries on a long soak, but every retained entry must replay; the SE
+// scheduler — warm starts and the adaptive schedule included — is
+// deterministic from the recorded inputs, so nothing is skipped.
+func gateDecisionReplay(dj *decisionlog.Journal, served int) error {
+	if err := dj.Sync(); err != nil {
+		return fmt.Errorf("decision journal: %w", err)
+	}
+	st, err := decisionlog.VerifyDir(dj.Dir())
+	if err != nil {
+		return fmt.Errorf("decision journal: %w", err)
+	}
+	dj.ReplayVerified(st.Ok())
+	fmt.Printf("decision journal: %d entries, %d replayed, %d skipped, %d failed\n",
+		st.Entries, st.Replayed, st.Skipped, st.Failed)
+	if st.Entries == 0 && served > 0 {
+		return fmt.Errorf("decision journal empty after %d epochs", served)
+	}
+	if !st.Ok() {
+		return fmt.Errorf("decision replay: %d of %d entries diverged (first: %s)",
+			st.Failed, st.Entries, st.Errors[0])
+	}
+	if st.Replayed == 0 && st.Entries > 0 {
+		return fmt.Errorf("decision replay: all %d entries skipped — the SE serve path must be replayable", st.Entries)
+	}
 	return nil
 }
 

@@ -14,6 +14,7 @@
 //	mvcom-trace -merge coordinator=co.json w0=127.0.0.1:9101 w1=w1.json
 //	mvcom-trace -merge -tree co.json w0.json      # flamegraph-style text
 //	mvcom-trace -merge -out merged.json co.json w0.json w1.json
+//	mvcom-trace -merge -decisions results/soak_decisions -tree co.json  # join audit entries
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/obs"
 	"mvcom/internal/randx"
 	"mvcom/internal/stats"
@@ -51,13 +53,14 @@ func run(args []string) error {
 		traceBuf = fs.Int("trace-buf", 4096, "trace ring-buffer capacity (events retained for /trace)")
 		merge    = fs.Bool("merge", false, "merge causal-trace dumps ([name=]file-or-url args) into one timeline")
 		tree     = fs.Bool("tree", false, "with -merge, render a text tree instead of JSON")
+		decDir   = fs.String("decisions", "", "with -merge, join this decision-journal directory's entries onto the timeline by epoch root trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *merge {
-		return mergeDumps(fs.Args(), *out, *tree)
+		return mergeDumps(fs.Args(), *out, *tree, *decDir)
 	}
 
 	var reg *obs.Registry
@@ -117,7 +120,9 @@ func run(args []string) error {
 
 // mergeDumps ingests each [name=]path-or-url source, aligns the clocks,
 // and writes the merged causal timeline to outPath (default stdout).
-func mergeDumps(sources []string, outPath string, tree bool) error {
+// decDir, when set, joins that decision journal's entries onto the
+// timeline through their epoch root traces.
+func mergeDumps(sources []string, outPath string, tree bool, decDir string) error {
 	if len(sources) == 0 {
 		return fmt.Errorf("-merge needs at least one [name=]file-or-url argument")
 	}
@@ -133,6 +138,18 @@ func mergeDumps(sources []string, outPath string, tree bool) error {
 	if len(m.Timeline.Orphans) > 0 {
 		fmt.Fprintf(os.Stderr, "mvcom-trace: warning: %d orphan spans (parents outside the merged window)\n",
 			len(m.Timeline.Orphans))
+	}
+	for _, w := range m.Warnings {
+		fmt.Fprintf(os.Stderr, "mvcom-trace: warning: %s\n", w)
+	}
+	if decDir != "" {
+		entries, err := decisionlog.ReadDir(decDir)
+		if err != nil {
+			return err
+		}
+		joined := m.JoinDecisions(entries)
+		fmt.Fprintf(os.Stderr, "mvcom-trace: joined %d of %d decision entries onto the timeline\n",
+			joined, len(entries))
 	}
 
 	write := func(w io.Writer) error {

@@ -1,0 +1,454 @@
+package decisionlog
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mvcom/internal/core"
+	"mvcom/internal/obs"
+)
+
+// testInstance is a small deterministic scheduling instance with one
+// straggler and a tight-enough capacity that the solver must choose.
+func testInstance() core.Instance {
+	return core.Instance{
+		Sizes:     []int{120, 100, 80, 60, 40, 500},
+		Latencies: []float64{5, 10, 15, 20, 25, 90},
+		DDL:       50,
+		Alpha:     1,
+		Capacity:  260,
+		Nmin:      2,
+	}
+}
+
+// solveEntry runs a fresh SE solve over testInstance and records it as
+// a journal entry the way the pipeline does.
+func solveEntry(t *testing.T, epoch int, seed int64) Entry {
+	t.Helper()
+	in := testInstance()
+	se := core.NewSE(core.SEConfig{Seed: seed, MaxIters: 2000})
+	sol, _, err := se.Solve(in)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	e := Entry{
+		Epoch:    epoch,
+		DDL:      in.DDL,
+		Alpha:    in.Alpha,
+		Capacity: in.Capacity,
+		Nmin:     in.Nmin,
+		Solver:   FingerprintSE(se.Config()),
+		Selected: sol.Indices(),
+		Utility:  sol.Utility,
+		Load:     sol.Load,
+		Count:    sol.Count,
+	}
+	for i := range in.Sizes {
+		e.Shards = append(e.Shards, ShardRecord{
+			Committee: i, Size: in.Sizes[i], Latency: in.Latencies[i], Age: in.Age(i),
+		})
+	}
+	e.Marginals = core.Marginals(&in, sol)
+	e.Rejected = core.RejectedCounterfactuals(&in, sol, 3)
+	return e
+}
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	cfg := core.NewSE(core.SEConfig{Seed: 7, Beta: 3, Gamma: 2, Workers: 4}).Config()
+	got := FingerprintSE(cfg).SEConfig()
+	if got != cfg {
+		t.Fatalf("fingerprint round-trip changed config:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestReplaySEBitIdentical(t *testing.T) {
+	e := solveEntry(t, 1, 42)
+	sol, err := Replay(&e)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if sol.Utility != e.Utility {
+		t.Fatalf("replay utility %v != recorded %v", sol.Utility, e.Utility)
+	}
+	if err := Verify(&e); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestReplaySEWarmStart(t *testing.T) {
+	in := testInstance()
+	se := core.NewSE(core.SEConfig{Seed: 9, MaxIters: 2000, WarmStart: true})
+	prevSel := []int{0, 1}
+	prev := core.Solution{Selected: selectionMask(prevSel, len(in.Sizes))}
+	sol, _, err := se.SolveFrom(in, prev)
+	if err != nil {
+		t.Fatalf("solve from: %v", err)
+	}
+	e := Entry{
+		Epoch: 2, DDL: in.DDL, Alpha: in.Alpha, Capacity: in.Capacity, Nmin: in.Nmin,
+		Solver: FingerprintSE(se.Config()),
+		Warm:   true, WarmPrev: prevSel,
+		Selected: sol.Indices(), Utility: sol.Utility, Load: sol.Load, Count: sol.Count,
+	}
+	for i := range in.Sizes {
+		e.Shards = append(e.Shards, ShardRecord{Committee: i, Size: in.Sizes[i], Latency: in.Latencies[i]})
+	}
+	if err := Verify(&e); err != nil {
+		t.Fatalf("warm-start verify: %v", err)
+	}
+}
+
+func TestReplayDistBitIdentical(t *testing.T) {
+	in := testInstance()
+	cfg := core.SEConfig{Beta: 2, Gamma: 1, Workers: 2}
+	var tasks []TaskRecord
+	var bestU float64
+	var bestSel []int
+	var bestLoad, bestCount int
+	for g := 0; g < 3; g++ {
+		seed := int64(11 + g*7919)
+		eng, err := core.NewEngine(in, core.SEConfig{
+			Beta: cfg.Beta, Gamma: cfg.Gamma, Workers: cfg.Workers, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		eng.StepN(500)
+		sol, err := eng.Best()
+		if err != nil {
+			t.Fatalf("best: %v", err)
+		}
+		tasks = append(tasks, TaskRecord{
+			TaskID: "task", Seed: seed, Iterations: eng.Iterations(),
+			Utility: sol.Utility, Selected: sol.Indices(),
+		})
+		if bestSel == nil || sol.Utility > bestU {
+			bestU, bestSel, bestLoad, bestCount = sol.Utility, sol.Indices(), sol.Load, sol.Count
+		}
+	}
+	fp := FingerprintSE(cfg)
+	fp.Kind = KindDist
+	e := Entry{
+		Epoch: 3, DDL: in.DDL, Alpha: in.Alpha, Capacity: in.Capacity, Nmin: in.Nmin,
+		Solver: fp, Tasks: tasks,
+		Selected: bestSel, Utility: bestU, Load: bestLoad, Count: bestCount,
+	}
+	for i := range in.Sizes {
+		e.Shards = append(e.Shards, ShardRecord{Committee: i, Size: in.Sizes[i], Latency: in.Latencies[i]})
+	}
+	if err := Verify(&e); err != nil {
+		t.Fatalf("dist verify: %v", err)
+	}
+
+	// A tampered task record must be caught.
+	e.Tasks[0].Utility += 1
+	if err := Verify(&e); err == nil {
+		t.Fatal("tampered dist entry verified")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	e := solveEntry(t, 4, 5)
+	e.Utility += 0.5
+	if err := Verify(&e); err == nil {
+		t.Fatal("tampered utility verified")
+	}
+	e = solveEntry(t, 4, 5)
+	if len(e.Selected) > 0 {
+		e.Selected = e.Selected[1:]
+		if err := Verify(&e); err == nil {
+			t.Fatal("tampered selection verified")
+		}
+	}
+}
+
+func TestNonReplayableKinds(t *testing.T) {
+	for _, e := range []Entry{
+		{Solver: SolverFingerprint{Kind: KindAcceptAll}},
+		{Solver: SolverFingerprint{Kind: KindOpaque}},
+		{Solver: SolverFingerprint{Kind: KindSE}, NonReplayable: "events"},
+		{Solver: SolverFingerprint{Kind: KindDist}},
+	} {
+		if _, err := Replay(&e); !errors.Is(err, ErrNotReplayable) {
+			t.Fatalf("kind %q nonReplayable %q: err = %v, want ErrNotReplayable",
+				e.Solver.Kind, e.NonReplayable, err)
+		}
+	}
+	st := VerifyAll([]Entry{{Solver: SolverFingerprint{Kind: KindOpaque}}})
+	if st.Skipped != 1 || st.Failed != 0 || st.Replayed != 0 {
+		t.Fatalf("VerifyAll stats = %+v, want 1 skipped", st)
+	}
+}
+
+func TestNewerSchemaRejected(t *testing.T) {
+	e := solveEntry(t, 5, 1)
+	e.Schema = SchemaVersion + 1
+	if _, err := Replay(&e); err == nil {
+		t.Fatal("newer-schema entry replayed")
+	}
+}
+
+func TestJournalRoundTripAndVerifyDir(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e := solveEntry(t, i, int64(100+i))
+		if err := j.Append(&e); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("read %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if e.Schema != SchemaVersion || e.Epoch != i {
+			t.Fatalf("entry %d: schema %d epoch %d", i, e.Schema, e.Epoch)
+		}
+	}
+	st, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 5 || st.Replayed != 5 || !st.Ok() {
+		t.Fatalf("VerifyDir stats = %+v, want 5/5 replayed", st)
+	}
+}
+
+func TestJournalRotationAndPruning(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, MaxSegmentBytes: 512, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := solveEntry(t, 0, 3)
+	for i := 0; i < 40; i++ {
+		e.Epoch = i
+		if err := j.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 2 {
+		t.Fatalf("retained %d segments, want <= 2: %v", len(segs), segs)
+	}
+	// Pruned history must still read cleanly and verify.
+	if st, err := VerifyDir(dir); err != nil || !st.Ok() {
+		t.Fatalf("pruned journal verify: %+v err=%v", st, err)
+	}
+}
+
+func TestJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := solveEntry(t, 0, 8)
+	if err := j.Append(&e); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Epoch = 1
+	if err := j2.Append(&e); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	entries, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Epoch != 0 || entries[1].Epoch != 1 {
+		t.Fatalf("resumed journal entries: %+v", entries)
+	}
+	segs, _ := segmentFiles(dir)
+	if len(segs) != 1 {
+		t.Fatalf("resume opened a new segment: %v", segs)
+	}
+}
+
+func TestNilJournalIsOff(t *testing.T) {
+	var j *Journal
+	if e := j.Acquire(); e != nil {
+		t.Fatal("nil journal Acquire returned an entry")
+	}
+	if err := j.Append(&Entry{}); err != nil {
+		t.Fatalf("nil journal Append: %v", err)
+	}
+	j.ReplayVerified(false)
+	if err := j.Sync(); err != nil {
+		t.Fatalf("nil journal Sync: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("nil journal Close: %v", err)
+	}
+	if d := j.Dir(); d != "" {
+		t.Fatalf("nil journal Dir = %q", d)
+	}
+}
+
+func TestJournalInstrumentsAndDebug(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir, Registry: reg, RecentEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 3; i++ {
+		e := solveEntry(t, i, int64(i))
+		e.TraceID = 77
+		if err := j.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.ReplayVerified(true)
+	j.ReplayVerified(false)
+
+	if got := reg.Counter("mvcom_decision_entries_total", "").Value(); got != 3 {
+		t.Fatalf("entries counter = %d, want 3", got)
+	}
+	if got := reg.Gauge("mvcom_decision_bytes", "").Value(); got <= 0 {
+		t.Fatalf("bytes gauge = %v, want > 0", got)
+	}
+	if got := reg.Counter("mvcom_decision_replays_total", "").Value(); got != 2 {
+		t.Fatalf("replays counter = %d, want 2", got)
+	}
+	if got := reg.Counter("mvcom_decision_replay_failures_total", "").Value(); got != 1 {
+		t.Fatalf("failures counter = %d, want 1", got)
+	}
+
+	fn := reg.DebugProvider("decisions")
+	if fn == nil {
+		t.Fatal("no decisions debug provider")
+	}
+	b, err := json.Marshal(fn())
+	if err != nil {
+		t.Fatalf("debug snapshot marshal: %v", err)
+	}
+	var snap struct {
+		Entries int               `json:"entries"`
+		Recent  []json.RawMessage `json:"recent"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Entries != 3 || len(snap.Recent) != 2 {
+		t.Fatalf("debug snapshot entries=%d recent=%d, want 3 and 2 (ring bound)", snap.Entries, len(snap.Recent))
+	}
+	// Ring serves oldest-first: with bound 2 after 3 appends, epochs 1,2.
+	var last Entry
+	if err := json.Unmarshal(snap.Recent[len(snap.Recent)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Epoch != 2 {
+		t.Fatalf("debug ring newest epoch = %d, want 2", last.Epoch)
+	}
+
+	// The EvDecision trace event carries the entry's TraceID.
+	events, _ := reg.Tracer().Snapshot()
+	found := false
+	for _, ev := range events {
+		if ev.Type == obs.EvDecision && ev.TraceID == 77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no EvDecision event with the entry's TraceID")
+	}
+}
+
+func TestAcquireRecyclesPooledEntries(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Cycle more entries through Acquire/Append than the pool holds; the
+	// writer must recycle them, and each Acquire must hand back a reset
+	// entry even when a recycled one still carries old state.
+	for i := 0; i < 10; i++ {
+		e := j.Acquire()
+		if e.Epoch != 0 || len(e.Shards) != 0 || len(e.Selected) != 0 {
+			t.Fatalf("cycle %d: Acquire returned a dirty entry: %+v", i, e)
+		}
+		e.Epoch = i
+		e.Shards = append(e.Shards, ShardRecord{Committee: 1})
+		e.Selected = append(e.Selected, 0)
+		if err := j.Append(e); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After a Sync barrier every pooled entry is back in the free list,
+	// so a fresh Acquire sees recycled slice capacity, not a new alloc.
+	reused := false
+	for i := 0; i < 10; i++ {
+		if e := j.Acquire(); cap(e.Shards) > 0 {
+			reused = true
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reused {
+		t.Fatal("Acquire never returned a recycled entry with retained capacity")
+	}
+
+	entries, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 10 {
+		t.Fatalf("journal holds %d entries, want >= 10", len(entries))
+	}
+	for i := 0; i < 10; i++ {
+		if entries[i].Epoch != i {
+			t.Fatalf("entry %d journaled out of order: epoch %d", i, entries[i].Epoch)
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "decisions-000000.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"schema\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("corrupt line error = %v, want line-2 decode failure", err)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

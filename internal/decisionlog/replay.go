@@ -1,0 +1,230 @@
+package decisionlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"mvcom/internal/core"
+)
+
+// ErrNotReplayable marks entries the verifier must skip: decisions whose
+// solver kind is not deterministic from the recorded inputs (opaque
+// schedulers, distributed runs with the adaptive schedule or dynamic
+// events, the accept-all baseline which has no solver to re-run).
+var ErrNotReplayable = errors.New("decisionlog: entry is not replayable")
+
+// Replay re-runs the recorded decision from the entry's inputs and
+// returns the reproduced solution. The replay-equivalence contract:
+// for KindSE the solver is rebuilt from the fingerprint (including the
+// warm-start path when Warm is set) and must walk the identical RNG
+// stream; for KindDist each task record is re-run as an engine stepped
+// exactly Iterations rounds under the task's seed. In both cases the
+// result must match the entry bit-identically — same selected indices,
+// same float64 utility — because the solve is a deterministic function
+// of (instance, config, seed) and the utility a deterministic fold over
+// the selection in index order.
+func Replay(e *Entry) (core.Solution, error) {
+	if e.Schema > SchemaVersion {
+		return core.Solution{}, fmt.Errorf("decisionlog: entry schema %d newer than supported %d", e.Schema, SchemaVersion)
+	}
+	if e.NonReplayable != "" {
+		return core.Solution{}, fmt.Errorf("%w (%s)", ErrNotReplayable, e.NonReplayable)
+	}
+	in := e.Instance()
+	switch e.Solver.Kind {
+	case KindSE:
+		se := core.NewSE(e.Solver.SEConfig())
+		if e.Warm {
+			prev := core.Solution{Selected: selectionMask(e.WarmPrev, len(e.Shards))}
+			sol, _, err := se.SolveFrom(in, prev)
+			return sol, err
+		}
+		sol, _, err := se.Solve(in)
+		return sol, err
+	case KindDist:
+		return replayDist(e, in)
+	default:
+		return core.Solution{}, fmt.Errorf("%w (kind %q)", ErrNotReplayable, e.Solver.Kind)
+	}
+}
+
+// replayDist re-runs every task of a distributed decision and picks the
+// best, mirroring the coordinator's strict-greater first-wins rule.
+// Each successful task must itself reproduce bit-identically; the
+// decision then falls out of the same max.
+func replayDist(e *Entry, in core.Instance) (core.Solution, error) {
+	if len(e.Tasks) == 0 {
+		return core.Solution{}, fmt.Errorf("%w (dist entry has no task records)", ErrNotReplayable)
+	}
+	if e.Solver.Adaptive {
+		// An adaptive engine's trajectory depends on wall-clock-paced
+		// schedule advances, not just total rounds; the recorder should
+		// have set NonReplayable, but guard here too.
+		return core.Solution{}, fmt.Errorf("%w (adaptive-dist)", ErrNotReplayable)
+	}
+	var best core.Solution
+	have := false
+	for _, t := range e.Tasks {
+		if t.Err != "" || t.Selected == nil {
+			continue
+		}
+		cfg := core.SEConfig{
+			Beta:     e.Solver.Beta,
+			Tau:      e.Solver.Tau,
+			Gamma:    e.Solver.Gamma,
+			Workers:  e.Solver.Workers,
+			Adaptive: e.Solver.Adaptive,
+			Seed:     t.Seed,
+		}
+		eng, err := core.NewEngine(in, cfg)
+		if err != nil {
+			return core.Solution{}, fmt.Errorf("decisionlog: replay task %s: %w", t.TaskID, err)
+		}
+		eng.StepN(t.Iterations)
+		sol, err := eng.Best()
+		if err != nil {
+			return core.Solution{}, fmt.Errorf("decisionlog: replay task %s: %w", t.TaskID, err)
+		}
+		if sol.Utility != t.Utility || !sameIndices(sol.Indices(), t.Selected) {
+			return core.Solution{}, fmt.Errorf("decisionlog: replay task %s diverged: got utility %v selected %v, recorded %v %v",
+				t.TaskID, sol.Utility, sol.Indices(), t.Utility, t.Selected)
+		}
+		if !have || sol.Utility > best.Utility {
+			best, have = sol, true
+		}
+	}
+	if !have {
+		return core.Solution{}, fmt.Errorf("%w (no successful task records)", ErrNotReplayable)
+	}
+	return best, nil
+}
+
+// sameIndices compares two ascending index slices, treating nil and
+// empty as equal.
+func sameIndices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify replays an entry and asserts the reproduction is bit-identical
+// to the recorded decision. A nil error means the entry is proven
+// faithful; ErrNotReplayable (check with errors.Is) means the entry is
+// legitimately unverifiable and should be counted as skipped, not
+// failed.
+func Verify(e *Entry) error {
+	sol, err := Replay(e)
+	if err != nil {
+		return err
+	}
+	if sol.Utility != e.Utility {
+		return fmt.Errorf("decisionlog: epoch %d replay utility %v != recorded %v", e.Epoch, sol.Utility, e.Utility)
+	}
+	if !sameIndices(sol.Indices(), e.Selected) {
+		return fmt.Errorf("decisionlog: epoch %d replay selected %v != recorded %v", e.Epoch, sol.Indices(), e.Selected)
+	}
+	if e.Solver.Kind == KindSE && (sol.Load != e.Load || sol.Count != e.Count) {
+		return fmt.Errorf("decisionlog: epoch %d replay load/count %d/%d != recorded %d/%d",
+			e.Epoch, sol.Load, sol.Count, e.Load, e.Count)
+	}
+	return nil
+}
+
+// VerifyStats summarizes a verification pass over a journal.
+type VerifyStats struct {
+	Entries  int      `json:"entries"`
+	Replayed int      `json:"replayed"`
+	Skipped  int      `json:"skipped"`
+	Failed   int      `json:"failed"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// Ok reports whether every replayable entry verified.
+func (s VerifyStats) Ok() bool { return s.Failed == 0 }
+
+// VerifyAll verifies every entry, partitioning them into replayed
+// (proven bit-identical), skipped (ErrNotReplayable), and failed
+// (divergence or replay error, messages collected in Errors).
+func VerifyAll(entries []Entry) VerifyStats {
+	st := VerifyStats{Entries: len(entries)}
+	for i := range entries {
+		switch err := Verify(&entries[i]); {
+		case err == nil:
+			st.Replayed++
+		case errors.Is(err, ErrNotReplayable):
+			st.Skipped++
+		default:
+			st.Failed++
+			st.Errors = append(st.Errors, err.Error())
+		}
+	}
+	return st
+}
+
+// ReadFile decodes one journal segment (JSON lines). Unknown fields are
+// ignored; entries from a newer schema are returned as-is (Replay
+// rejects them).
+func ReadFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("decisionlog: %w", err)
+	}
+	defer f.Close()
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("decisionlog: %s:%d: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("decisionlog: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// ReadDir decodes every segment in a journal directory, oldest segment
+// first, so entries come back in append order.
+func ReadDir(dir string) ([]Entry, error) {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("decisionlog: %w", err)
+	}
+	var out []Entry
+	for _, s := range segs {
+		es, err := ReadFile(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, es...)
+	}
+	return out, nil
+}
+
+// VerifyDir reads and verifies a whole journal directory — the CI-gate
+// entry point used by mvcom-soak and mvcom-cluster.
+func VerifyDir(dir string) (VerifyStats, error) {
+	entries, err := ReadDir(dir)
+	if err != nil {
+		return VerifyStats{}, err
+	}
+	return VerifyAll(entries), nil
+}

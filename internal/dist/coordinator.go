@@ -131,6 +131,11 @@ type Coordinator struct {
 	best     Result
 	haveBest bool
 	improves int // report counter since last improvement
+	// lastResults / lastLocal capture the most recent Run's per-task
+	// results and whether it degraded to the local-fallback solve — the
+	// provenance the decision journal records for replay.
+	lastResults []Result
+	lastLocal   bool
 }
 
 // NewCoordinator validates the instance and starts listening on addr
@@ -154,6 +159,42 @@ func NewCoordinator(addr string, cfg CoordinatorConfig) (*Coordinator, error) {
 
 // Addr returns the listening address for workers to dial.
 func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// TaskResults returns the per-task results collected by the most recent
+// Run (every settled attempt, failed ones included) and whether that run
+// fell back to the local in-process solve. The slice is a copy.
+func (co *Coordinator) TaskResults() ([]Result, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]Result(nil), co.lastResults...), co.lastLocal
+}
+
+// setOutcome records a Run's provenance for TaskResults.
+func (co *Coordinator) setOutcome(results []Result, local bool) {
+	co.mu.Lock()
+	co.lastResults = append(co.lastResults[:0], results...)
+	co.lastLocal = local
+	co.mu.Unlock()
+}
+
+// TaskSeed returns the seed the g-th task was dispatched with (the
+// deterministic per-task derivation replay relies on).
+func (co *Coordinator) TaskSeed(g int) int64 { return co.cfg.Seed + int64(g)*7919 }
+
+// SolverConfig returns the SE configuration the session's solves derive
+// from: worker tasks carry these fields on the wire (each with its
+// TaskSeed), and the local-fallback kernel solves under them directly.
+func (co *Coordinator) SolverConfig() core.SEConfig {
+	return core.SEConfig{
+		Beta:     co.cfg.Beta,
+		Tau:      co.cfg.Tau,
+		Seed:     co.cfg.Seed,
+		Gamma:    co.cfg.Gamma,
+		Workers:  co.cfg.SEWorkers,
+		Adaptive: co.cfg.Adaptive,
+		MaxIters: co.cfg.MaxIterations,
+	}
+}
 
 // Close releases the listener.
 func (co *Coordinator) Close() error { return co.ln.Close() }
@@ -211,6 +252,7 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 			root.FinishOutcome("no-workers")
 			return core.Solution{}, inst, err
 		}
+		co.setOutcome(nil, true)
 		sol, lerr := co.localSolve(inst, root.Context())
 		return sol, inst, lerr
 	}
@@ -306,9 +348,11 @@ func (co *Coordinator) Run() (core.Solution, core.Instance, error) {
 			root.FinishOutcome("no-result")
 			return core.Solution{}, inst, ErrNoResult
 		}
+		co.setOutcome(s.results, true)
 		sol, lerr := co.localSolve(inst, root.Context())
 		return sol, inst, lerr
 	}
+	co.setOutcome(s.results, false)
 	evMu.Lock()
 	defer evMu.Unlock()
 	if len(best.Selected) > inst.NumShards() {
@@ -337,7 +381,7 @@ func (co *Coordinator) task(g int) Task {
 		Nmin:          co.cfg.Instance.Nmin,
 		Beta:          co.cfg.Beta,
 		Tau:           co.cfg.Tau,
-		Seed:          co.cfg.Seed + int64(g)*7919,
+		Seed:          co.TaskSeed(g),
 		Gamma:         co.cfg.Gamma,
 		SEWorkers:     co.cfg.SEWorkers,
 		Adaptive:      co.cfg.Adaptive,

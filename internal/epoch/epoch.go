@@ -26,12 +26,14 @@ import (
 
 	"mvcom/internal/chain"
 	"mvcom/internal/core"
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/faultinject"
 	"mvcom/internal/obs"
 	"mvcom/internal/overlay"
 	"mvcom/internal/pbft"
 	"mvcom/internal/pow"
 	"mvcom/internal/randx"
+	"mvcom/internal/seobs"
 	"mvcom/internal/sim"
 	"mvcom/internal/txgen"
 )
@@ -134,6 +136,12 @@ type Config struct {
 	// accounting term), permitted/deferred/failed counters, and
 	// phase-transition trace events. Nil disables every hook.
 	Obs *obs.EpochObserver
+	// DecisionLog, when non-nil, journals every committed epoch's full
+	// decision record (scheduling inputs, solver fingerprint, selection
+	// with per-committee marginals, rejected counterfactuals, deferral
+	// and expiry events) for offline audit and deterministic replay
+	// verification (internal/decisionlog). Nil is off.
+	DecisionLog *decisionlog.Journal
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -462,6 +470,13 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	}
 	endSolve("")
 	res.Solution = sol
+	// Journal the decision before recordPermitted rewrites the warm-start
+	// state; deferral events are filled in by the commit loop below and
+	// the entry is appended only once the final block is on the chain.
+	dle := p.cfg.DecisionLog.Acquire()
+	if dle != nil {
+		p.fillDecision(dle, sched, in, sol, res)
+	}
 	p.recordPermitted(res)
 	if o := p.cfg.Obs; o != nil {
 		o.Trace.Emit(obs.EvEpochPhase, "epoch", float64(p.epoch), "schedule")
@@ -502,7 +517,19 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 			// The shard expires instead of re-queueing forever; under
 			// sustained capacity pressure this is what keeps the deferral
 			// backlog — and the live set — bounded.
+			if dle != nil {
+				dle.Deferrals = append(dle.Deferrals, decisionlog.DeferralEvent{
+					Committee: rep.Committee, Kind: decisionlog.Expired,
+					Deferrals: carried.Deferrals, MaxDeferrals: p.cfg.MaxDeferrals,
+				})
+			}
 			continue
+		}
+		if dle != nil {
+			dle.Deferrals = append(dle.Deferrals, decisionlog.DeferralEvent{
+				Committee: rep.Committee, Kind: decisionlog.Deferred,
+				Deferrals: carried.Deferrals,
+			})
 		}
 		residual := rep.TwoPhase - ddl
 		if residual < 0 {
@@ -531,8 +558,86 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		o.DeferredCommittees.Add(int64(len(res.Deferred)))
 		o.Epochs.Inc()
 	}
+	if dle != nil {
+		dle.TraceID = root.Context().TraceID
+		if err := p.cfg.DecisionLog.Append(dle); err != nil {
+			// The block is committed but its provenance is not: an audit
+			// journal that silently loses entries is worse than none, so
+			// the epoch fails loudly.
+			return nil, fmt.Errorf("epoch %d decision journal: %w", p.epoch, err)
+		}
+	}
 	committed = true
 	return res, nil
+}
+
+// topRejected is how many rejected-candidate counterfactuals each journal
+// entry carries.
+const topRejected = 8
+
+// fillDecision populates a journal entry from the epoch's inputs and
+// decision. The deferral events are appended later by the commit loop.
+func (p *Pipeline) fillDecision(e *decisionlog.Entry, sched Scheduler, in core.Instance, sol core.Solution, res *Result) {
+	e.Epoch = p.epoch
+	e.DDL = in.DDL
+	e.Alpha = in.Alpha
+	e.Capacity = in.Capacity
+	e.Nmin = in.Nmin
+	for li, ri := range res.Live {
+		rep := res.Reports[ri]
+		e.Shards = append(e.Shards, decisionlog.ShardRecord{
+			Committee: rep.Committee,
+			Size:      in.Sizes[li],
+			Latency:   in.Latencies[li],
+			Age:       in.Age(li),
+			Deferrals: rep.Deferrals,
+		})
+	}
+	var diag *seobs.Diag
+	e.Solver, diag = fingerprintScheduler(sched)
+	if diag != nil {
+		d := diag.Digest()
+		e.Diag = &d
+	}
+	if srv := p.srv; srv != nil && srv.warmUsed {
+		e.Warm = true
+		for li, s := range srv.sel {
+			if s {
+				e.WarmPrev = append(e.WarmPrev, li)
+			}
+		}
+	}
+	for li, s := range sol.Selected {
+		if s {
+			e.Selected = append(e.Selected, li)
+		}
+	}
+	e.Utility = sol.Utility
+	e.Load = sol.Load
+	e.Count = sol.Count
+	e.Marginals = core.MarginalsInto(e.Marginals, &in, sol)
+	e.Rejected = core.RejectedCounterfactualsInto(e.Rejected, &in, sol, topRejected)
+}
+
+// fingerprintScheduler maps a Scheduler to its journal fingerprint. An
+// SE-backed SolverScheduler is fully fingerprinted (and replayable);
+// AcceptAll is recorded by kind; anything else is opaque.
+func fingerprintScheduler(sched Scheduler) (decisionlog.SolverFingerprint, *seobs.Diag) {
+	switch s := sched.(type) {
+	case SolverScheduler:
+		if se, ok := s.Solver.(*core.SE); ok {
+			cfg := se.Config()
+			return decisionlog.FingerprintSE(cfg), cfg.Diag
+		}
+	case *SolverScheduler:
+		if se, ok := s.Solver.(*core.SE); ok {
+			cfg := se.Config()
+			return decisionlog.FingerprintSE(cfg), cfg.Diag
+		}
+	case AcceptAll, *AcceptAll:
+		return decisionlog.SolverFingerprint{Kind: decisionlog.KindAcceptAll}, nil
+	}
+	return decisionlog.SolverFingerprint{Kind: decisionlog.KindOpaque}, nil
 }
 
 // Measure runs stages 1–3 only and returns the per-committee reports with

@@ -111,6 +111,11 @@ type serveState struct {
 	// selected; havePrev is false until a first decision exists.
 	permitted map[int]bool
 	havePrev  bool
+	// warmUsed marks whether this epoch's schedule went through the
+	// warm-start path (and sel therefore holds the seed selection) — the
+	// decision journal records it so replay can reproduce the exact
+	// SolveFrom call.
+	warmUsed bool
 }
 
 // Serve runs epochs continuously until the stream ends, the context is
@@ -209,6 +214,7 @@ func (p *Pipeline) schedule(sched Scheduler, in core.Instance, res *Result) (cor
 	if srv == nil {
 		return sched.Schedule(in.Clone())
 	}
+	srv.warmUsed = false
 	ws, warm := sched.(WarmScheduler)
 	if !warm || !srv.havePrev {
 		return sched.Schedule(in)
@@ -221,6 +227,7 @@ func (p *Pipeline) schedule(sched Scheduler, in core.Instance, res *Result) (cor
 		sel = append(sel, srv.permitted[res.Reports[ri].Committee])
 	}
 	srv.sel = sel
+	srv.warmUsed = true
 	return ws.ScheduleFrom(in, core.Solution{Selected: sel})
 }
 

@@ -75,6 +75,9 @@ func TestWriteJSONGolden(t *testing.T) {
     "mvcom_lat_seconds": {
       "count": 3,
       "sum": 4.5,
+      "p50": 0.75,
+      "p95": 2,
+      "p99": 2,
       "buckets": [
         {
           "le": 1,
@@ -143,6 +146,30 @@ func TestWriteNilRegistry(t *testing.T) {
 	sb.Reset()
 	if err := r.WriteJSON(&sb); err != nil || sb.String() != "{}\n" {
 		t.Fatalf("nil WriteJSON: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	bounds := []float64{1, 2}
+	counts := []int64{2, 0, 1} // observations 0.5, 1, 3
+	cases := []struct {
+		q, want float64
+	}{
+		{0.50, 0.75}, // rank 1.5 of 2 in [0,1] -> 0.75
+		{0.95, 2},    // rank lands in +Inf -> highest finite bound
+		{0.99, 2},
+	}
+	for _, c := range cases {
+		if got := histQuantile(c.q, bounds, counts); got != c.want {
+			t.Fatalf("histQuantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := histQuantile(0.5, bounds, []int64{0, 0, 0}); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// A rank inside the second bucket interpolates from the first bound.
+	if got := histQuantile(0.5, bounds, []int64{0, 4, 0}); got != 1.5 {
+		t.Fatalf("mid-bucket quantile = %v, want 1.5", got)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 //	/trace              recent structured trace events (streamed JSON, oldest first)
 //	/debug/timeline     causal span timeline reconstructed from the tracer ring
 //	/debug/convergence  SE convergence diagnostics (registered provider)
+//	/debug/decisions    recent epoch decision-journal entries (registered provider)
 //	/debug/vars         expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/       CPU, heap, goroutine, ... profiles
 //
@@ -38,7 +39,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, "<html><head><title>mvcom observability</title></head><body>\n")
 		fmt.Fprint(w, "<h1>mvcom observability</h1>\n<ul>\n")
-		links := []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/debug/timeline", "/debug/convergence", "/debug/vars", "/debug/pprof/"}
+		links := []string{"/healthz", "/metrics", "/metrics.json", "/trace", "/debug/timeline", "/debug/convergence", "/debug/decisions", "/debug/vars", "/debug/pprof/"}
 		seen := map[string]bool{}
 		for _, l := range links {
 			seen[l] = true

@@ -293,6 +293,30 @@ func (r *Registry) DebugProvider(name string) func() any {
 	return r.debug[name]
 }
 
+// MetricNames lists every registered metric name (counters, gauges, and
+// histograms, labels included as written) in sorted order. The metrics
+// lint uses it to gate renames against the committed docs/metrics.txt
+// golden list. Nil-safe.
+func (r *Registry) MetricNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // DebugNames lists the registered debug providers in sorted order.
 func (r *Registry) DebugNames() []string {
 	if r == nil {

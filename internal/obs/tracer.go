@@ -63,9 +63,14 @@ const (
 	// time, Actor = worker). mvcom-trace -merge uses the per-dump median
 	// to align timelines from machines with skewed clocks.
 	EvClockSync
+	// EvDecision marks an epoch decision-journal append (Actor = "epoch",
+	// Value = epoch number, Detail = "utility=<U>"; TraceID carries the
+	// epoch root span's trace so a timeline node joins to its audit
+	// entry — see internal/decisionlog and tracemerge.JoinDecisions).
+	EvDecision
 
 	// evLast is the highest defined event type (JSON name lookup bound).
-	evLast = EvClockSync
+	evLast = EvDecision
 )
 
 // String names the event type for exposition.
@@ -105,6 +110,8 @@ func (t EventType) String() string {
 		return "span_end"
 	case EvClockSync:
 		return "clock_sync"
+	case EvDecision:
+		return "decision"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,141 @@
+package tracemerge
+
+// Error-path coverage for the merge layer: corrupt and truncated dumps
+// must fail loudly, nodes without clock-sync samples must merge on their
+// own clock with a visible warning, and duplicate node names must be
+// renamed instead of silently conflating two processes' events. Plus the
+// decision-journal join: entries attach to the timeline through their
+// epoch root spans.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mvcom/internal/decisionlog"
+)
+
+func TestReadDumpCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "this is not json",
+		"wrong top level": `[1,2,3]`,
+		"corrupt event":   `{"dropped":0,"events":[{"at":"zzz`,
+		"bad dropped":     `{"dropped":"many","events":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadDump("x", strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadDump accepted %q", name, doc)
+		}
+	}
+}
+
+func TestReadDumpTruncated(t *testing.T) {
+	// A dump cut off mid-stream (process killed during export): the
+	// events array never closes.
+	doc := `{"dropped":3,"events":[{"type":"span-begin","actor":"se","traceId":1,"spanId":1}`
+	if _, err := ReadDump("w1", strings.NewReader(doc)); err == nil {
+		t.Fatal("ReadDump accepted a truncated dump")
+	}
+}
+
+func TestMergeNoClockSyncWarns(t *testing.T) {
+	base := time.Unix(100, 0)
+	co := &Dump{Name: "coordinator", Events: span(1, 1, 0, "epoch", "pipeline", base, time.Second)}
+	// w1 has sync samples, w2 has none.
+	w1 := &Dump{Name: "w1", Events: append(clockSync("w1", 0.05, 0.05),
+		span(1, 2, 1, "solve", "w1", base.Add(-time.Millisecond*40), 100*time.Millisecond)...)}
+	w2 := &Dump{Name: "w2", Events: span(1, 3, 1, "solve", "w2", base.Add(time.Millisecond*10), 100*time.Millisecond)}
+	m := Merge([]*Dump{co, w1, w2})
+
+	if len(m.Warnings) != 1 || !strings.Contains(m.Warnings[0], `"w2"`) {
+		t.Fatalf("warnings = %v, want exactly one about w2", m.Warnings)
+	}
+	// The coordinator (first dump, reference clock) must NOT be warned
+	// about despite also having zero samples.
+	for _, w := range m.Warnings {
+		if strings.Contains(w, "coordinator") {
+			t.Fatalf("reference node warned about: %v", m.Warnings)
+		}
+	}
+	// w2 merges on its own clock: offset 0, samples 0, events intact.
+	var w2info *NodeInfo
+	for i := range m.Nodes {
+		if m.Nodes[i].Name == "w2" {
+			w2info = &m.Nodes[i]
+		}
+	}
+	if w2info == nil || w2info.OffsetSec != 0 || w2info.ClockSamples != 0 || w2info.Events != 2 {
+		t.Fatalf("w2 node info = %+v, want offset 0, samples 0, 2 events", w2info)
+	}
+	// The warning must also surface in the text artifact.
+	var sb strings.Builder
+	if err := m.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "warning:") {
+		t.Fatalf("WriteTree output has no warning line:\n%s", sb.String())
+	}
+}
+
+func TestMergeDuplicateNodeNames(t *testing.T) {
+	base := time.Unix(200, 0)
+	a := &Dump{Name: "w1", Events: span(1, 1, 0, "solve", "w1", base, time.Second)}
+	b := &Dump{Name: "w1", Events: append(clockSync("w1", 0.01),
+		span(2, 2, 0, "solve", "w1", base, time.Second)...)}
+	m := Merge([]*Dump{a, b})
+
+	if m.Nodes[0].Name != "w1" || m.Nodes[1].Name != "w1#2" {
+		t.Fatalf("node names = %q, %q; want w1 and w1#2", m.Nodes[0].Name, m.Nodes[1].Name)
+	}
+	found := false
+	for _, w := range m.Warnings {
+		if strings.Contains(w, "duplicate node name") && strings.Contains(w, "w1#2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no duplicate-name warning: %v", m.Warnings)
+	}
+	// The second dump's events must be restamped with the new name, so
+	// per-node attribution stays unambiguous.
+	renamed := 0
+	for _, ev := range m.Events {
+		if ev.Node == "w1#2" {
+			renamed++
+		}
+	}
+	if renamed != len(b.Events) {
+		t.Fatalf("%d events restamped as w1#2, want %d", renamed, len(b.Events))
+	}
+}
+
+func TestJoinDecisions(t *testing.T) {
+	base := time.Unix(300, 0)
+	evs := span(7, 7, 0, "epoch", "pipeline", base, time.Second)                // root: TraceID == SpanID
+	evs = append(evs, span(7, 8, 7, "solve", "pipeline", base, time.Second)...) // child, not a root
+	co := &Dump{Name: "coordinator", Events: evs}
+	m := Merge([]*Dump{co})
+
+	entries := []decisionlog.Entry{
+		{Epoch: 1, TraceID: 7, Utility: 42.5, Selected: []int{0, 2}}, // joins
+		{Epoch: 2, TraceID: 999},                                     // root fell out of the ring
+		{Epoch: 3},                                                   // tracing was off
+	}
+	if got := m.JoinDecisions(entries); got != 1 {
+		t.Fatalf("joined %d entries, want 1", got)
+	}
+	if len(m.Decisions) != 1 {
+		t.Fatalf("decisions = %+v", m.Decisions)
+	}
+	d := m.Decisions[0]
+	if d.Epoch != 1 || d.Node != "coordinator" || d.Utility != 42.5 || len(d.Selected) != 2 {
+		t.Fatalf("joined decision = %+v", d)
+	}
+	var sb strings.Builder
+	if err := m.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "decision epoch=1") {
+		t.Fatalf("WriteTree output missing decision line:\n%s", sb.String())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"mvcom/internal/decisionlog"
 	"mvcom/internal/obs"
 )
 
@@ -216,11 +217,30 @@ type NodeInfo struct {
 	ClockSamples int `json:"clockSamples"`
 }
 
+// DecisionRef joins one decision-journal entry to the merged timeline:
+// the epoch root span whose TraceID the entry recorded, the node that
+// emitted it, and the decision's headline terms.
+type DecisionRef struct {
+	Epoch   int     `json:"epoch"`
+	TraceID uint64  `json:"traceId"`
+	Node    string  `json:"node"`
+	Utility float64 `json:"utility"`
+	// Selected is the entry's selected instance indices.
+	Selected []int `json:"selected,omitempty"`
+}
+
 // Merged is the cross-process reconstruction: per-node ingest stats plus
 // the causal forest over the clock-aligned union of all events.
 type Merged struct {
-	Nodes    []NodeInfo    `json:"nodes"`
-	Timeline *obs.Timeline `json:"timeline"`
+	Nodes []NodeInfo `json:"nodes"`
+	// Warnings flags merge-quality hazards a reader should know about
+	// before trusting the alignment: renamed duplicate node names, and
+	// non-reference nodes merged with no clock-sync samples.
+	Warnings []string `json:"warnings,omitempty"`
+	// Decisions holds audit-journal entries joined onto the timeline via
+	// their epoch root spans (JoinDecisions); empty until joined.
+	Decisions []DecisionRef `json:"decisions,omitempty"`
+	Timeline  *obs.Timeline `json:"timeline"`
 	// Events is the clock-aligned union, oldest first (offsets applied).
 	Events []obs.Event `json:"events"`
 }
@@ -229,26 +249,72 @@ type Merged struct {
 // merged causal timeline. Span durations survive the shift exactly: the
 // timeline builder takes them from the end events' emitter-measured
 // values, never from shifted endpoint differences.
+//
+// The first dump is the reference clock; any later dump with zero
+// EvClockSync samples is merged on its own clock (offset 0) and flagged
+// in Warnings. Duplicate dump names are renamed ("w1" -> "w1#2") so
+// per-node stats and event attribution stay unambiguous.
 func Merge(dumps []*Dump) *Merged {
 	m := &Merged{}
-	for _, d := range dumps {
+	seen := make(map[string]int, len(dumps))
+	for i, d := range dumps {
+		name := d.Name
+		seen[name]++
+		if c := seen[name]; c > 1 {
+			name = fmt.Sprintf("%s#%d", name, c)
+			m.Warnings = append(m.Warnings, fmt.Sprintf(
+				"duplicate node name %q renamed to %q", d.Name, name))
+		}
 		off, n := EstimateOffset(d)
+		if i > 0 && n == 0 {
+			m.Warnings = append(m.Warnings, fmt.Sprintf(
+				"node %q has no clock-sync samples; merged on its own clock (offset 0)", name))
+		}
 		m.Nodes = append(m.Nodes, NodeInfo{
-			Name: d.Name, Events: len(d.Events), Dropped: d.Dropped,
+			Name: name, Events: len(d.Events), Dropped: d.Dropped,
 			OffsetSec: off, ClockSamples: n,
 		})
 		shift := time.Duration(off * float64(time.Second))
 		for _, ev := range d.Events {
 			ev.At = ev.At.Add(shift)
-			if ev.Node == "" {
-				ev.Node = d.Name
-			}
+			ev.Node = name
 			m.Events = append(m.Events, ev)
 		}
 	}
 	sort.SliceStable(m.Events, func(i, j int) bool { return m.Events[i].At.Before(m.Events[j].At) })
 	m.Timeline = obs.BuildTimeline(m.Events)
 	return m
+}
+
+// JoinDecisions links decision-journal entries onto the merged timeline:
+// an entry joins when some node's epoch root span (EvSpanBegin with
+// TraceID == SpanID) carries the entry's recorded TraceID. Returns how
+// many entries joined; entries without a TraceID (tracing was off) or
+// whose root span fell out of the bounded ring simply do not join.
+func (m *Merged) JoinDecisions(entries []decisionlog.Entry) int {
+	roots := make(map[uint64]string)
+	for _, ev := range m.Events {
+		if ev.Type == obs.EvSpanBegin && ev.TraceID != 0 && ev.TraceID == ev.SpanID {
+			roots[ev.TraceID] = ev.Node
+		}
+	}
+	joined := 0
+	for i := range entries {
+		e := &entries[i]
+		if e.TraceID == 0 {
+			continue
+		}
+		node, ok := roots[e.TraceID]
+		if !ok {
+			continue
+		}
+		m.Decisions = append(m.Decisions, DecisionRef{
+			Epoch: e.Epoch, TraceID: e.TraceID, Node: node,
+			Utility: e.Utility, Selected: e.Selected,
+		})
+		joined++
+	}
+	return joined
 }
 
 // WriteJSON writes the merged artifact (node stats + timeline + aligned
@@ -259,7 +325,8 @@ func (m *Merged) WriteJSON(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteTree renders the node summary and the flamegraph-style text tree.
+// WriteTree renders the node summary, merge warnings, joined decisions,
+// and the flamegraph-style text tree.
 func (m *Merged) WriteTree(w io.Writer) error {
 	for _, n := range m.Nodes {
 		ref := ""
@@ -268,6 +335,17 @@ func (m *Merged) WriteTree(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "node %-14s events=%d dropped=%d offset=%+.3fms%s\n",
 			n.Name, n.Events, n.Dropped, n.OffsetSec*1e3, ref); err != nil {
+			return err
+		}
+	}
+	for _, warn := range m.Warnings {
+		if _, err := fmt.Fprintf(w, "warning: %s\n", warn); err != nil {
+			return err
+		}
+	}
+	for _, d := range m.Decisions {
+		if _, err := fmt.Fprintf(w, "decision epoch=%d node=%s utility=%g selected=%v\n",
+			d.Epoch, d.Node, d.Utility, d.Selected); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,149 @@
+package mvcom_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mvcom/internal/decisionlog"
+	"mvcom/internal/obs"
+)
+
+// metricBaseRE is the naming contract: a metric base name (labels
+// stripped) is mvcom_ followed by lowercase snake case.
+var metricBaseRE = regexp.MustCompile(`^mvcom_[a-z0-9_]+$`)
+
+// sourceMetricRE finds metric-name string literals in source: a double
+// quote immediately followed by an mvcom_ base name. Labeled names
+// (`mvcom_x_total{role=...}`) match their base because `{` terminates
+// the character class.
+var sourceMetricRE = regexp.MustCompile(`"(mvcom_[a-z0-9_]+)`)
+
+// sourceMetricBases scans every non-test .go file in the repository for
+// metric-name literals and returns the set of base names.
+func sourceMetricBases(t *testing.T) map[string]bool {
+	t.Helper()
+	bases := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "results" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range sourceMetricRE.FindAllSubmatch(src, -1) {
+			bases[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bases) == 0 {
+		t.Fatal("source scan found no metric names")
+	}
+	return bases
+}
+
+// documentedBases parses docs/metrics.txt: first whitespace-separated
+// token per line, '#' comments and blank lines ignored.
+func documentedBases(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("docs", "metrics.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]bool{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.Fields(line)[0]
+		if !metricBaseRE.MatchString(name) {
+			t.Errorf("docs/metrics.txt:%d: malformed metric name %q", i+1, name)
+			continue
+		}
+		docs[name] = true
+	}
+	return docs
+}
+
+// TestMetricsNamesDocumented is the metrics-name lint ci.sh runs as a
+// fast-stage gate: every metric base name the binaries can register must
+// match ^mvcom_[a-z0-9_]+$ and appear in the committed docs/metrics.txt
+// index, and every index entry must still be backed by a registration —
+// renaming or adding a metric without updating the docs fails the build.
+func TestMetricsNamesDocumented(t *testing.T) {
+	src := sourceMetricBases(t)
+	docs := documentedBases(t)
+
+	for name := range src {
+		if !metricBaseRE.MatchString(name) {
+			t.Errorf("metric %q violates the mvcom_[a-z0-9_]+ naming contract", name)
+		}
+		if !docs[name] {
+			t.Errorf("metric %q is registered in source but missing from docs/metrics.txt", name)
+		}
+	}
+	for name := range docs {
+		if !src[name] {
+			t.Errorf("docs/metrics.txt lists %q but no source registration backs it", name)
+		}
+	}
+}
+
+// TestMetricsRuntimeNamesDocumented cross-checks the static scan against
+// a live registry: it exercises every observer family plus the decision
+// journal and the lazily-registered labeled paths (per-phase gauges,
+// per-type dist message counters), then asserts each runtime name's base
+// is documented and well-formed. This catches a metric whose name is
+// composed at runtime and never appears verbatim in source.
+func TestMetricsRuntimeNamesDocumented(t *testing.T) {
+	docs := documentedBases(t)
+
+	reg := obs.NewRegistry()
+	obs.NewSEObserver(reg)
+	eo := obs.NewEpochObserver(reg)
+	eo.PhaseWall("formation", 0.01, 1.0) // registers both labeled phase gauges
+	do := obs.NewDistObserver(reg, "coordinator")
+	do.MsgSent("progress")
+	do.MsgRecv("result")
+	j, err := decisionlog.Open(decisionlog.Options{Dir: t.TempDir(), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := reg.MetricNames()
+	if len(names) == 0 {
+		t.Fatal("registry registered no metrics")
+	}
+	for _, name := range names {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !metricBaseRE.MatchString(base) {
+			t.Errorf("runtime metric %q has malformed base %q", name, base)
+		}
+		if !docs[base] {
+			t.Errorf("runtime metric %q (base %q) missing from docs/metrics.txt", name, base)
+		}
+	}
+}
