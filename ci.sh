@@ -6,9 +6,10 @@
 #   ./ci.sh chaos     deterministic fault-injection suite + coverage gate
 #   ./ci.sh bench     observability overhead + benchmark-journal gates
 #   ./ci.sh soak      warm-start serving-loop soak + adaptive gate
+#   ./ci.sh serve     networked serving plane under 2x-overload swarm
 #   ./ci.sh cluster   multi-process deployment chaos (mvcom-cluster)
 #   ./ci.sh nightly   extended multi-process soak + warn-only journal diff
-#   ./ci.sh           every gating stage (fast chaos bench soak cluster)
+#   ./ci.sh           every gating stage (fast chaos bench soak serve cluster)
 #
 # The SE kernel is concurrent by default (SEConfig.Workers 0 =
 # GOMAXPROCS), so -race exercises the real production path.
@@ -218,6 +219,52 @@ stage_soak() {
 	}'
 }
 
+stage_serve() {
+	# Networked serving plane overload gate (DESIGN.md §5k): a real
+	# mvcom-serve process takes HTTP ingest while the synthetic client
+	# swarm hammers it at 2x the per-source admitted rate for 30s, then a
+	# SIGTERM triggers the graceful drain. The server exits nonzero unless
+	# its own -gate set holds: every request accounted accepted-or-shed,
+	# every admitted transaction settled after the drain (the books'
+	# identity is exact), accepted traffic committed, shedding observed
+	# (-expect-shed — at 2x overload it is forced by construction), the
+	# post-GC heap trend flat, and goroutines back at baseline.
+	mkdir -p results/bin
+	go build -o results/bin ./cmd/mvcom-serve
+	rm -f results/serve_addr
+	results/bin/mvcom-serve -addr 127.0.0.1:0 -addr-file results/serve_addr \
+		-committees 6 -committee-size 4 -capacity 400000 \
+		-rate 1000 -burst 2000 -queue-cap 16000 \
+		-min-batch 500 -max-wait 100ms -se-iters 600 \
+		-duration 120s -gate -expect-shed \
+		> results/serve.log 2>&1 &
+	serve_pid=$!
+	i=0
+	while [ ! -s results/serve_addr ] && [ "$i" -lt 100 ]; do
+		sleep 0.1
+		i=$((i + 1))
+	done
+	if [ ! -s results/serve_addr ]; then
+		cat results/serve.log >&2
+		echo "serve stage: server never published its ingest address" >&2
+		exit 1
+	fi
+
+	# Four clients, each offering 2x its admitted rate; the fleet keeps
+	# its own ledger and refuses transport errors.
+	results/bin/mvcom-serve -swarm -target "http://$(cat results/serve_addr)" \
+		-swarm-clients 4 -swarm-rate 2000 -swarm-batch 100 \
+		-swarm-duration 30s -swarm-report-every 8 -committees 6 \
+		| tee results/serve_swarm.log
+
+	# Graceful drain: first SIGTERM settles the backlog into final epochs.
+	kill -TERM "$serve_pid"
+	wait "$serve_pid"
+	cat results/serve.log
+	grep -q "serve gates passed" results/serve.log
+	grep -q "swarm done" results/serve_swarm.log
+}
+
 stage_cluster() {
 	# Multi-process deployment chaos (DESIGN.md §5i): a coordinator and
 	# two workers as separate OS processes over loopback TCP, a txgen
@@ -266,7 +313,7 @@ stage_nightly() {
 }
 
 if [ "$#" -eq 0 ]; then
-	set -- fast chaos bench soak cluster
+	set -- fast chaos bench soak serve cluster
 fi
 for stage in "$@"; do
 	case "$stage" in
@@ -274,11 +321,12 @@ for stage in "$@"; do
 	chaos) stage_chaos ;;
 	bench) stage_bench ;;
 	soak) stage_soak ;;
+	serve) stage_serve ;;
 	cluster) stage_cluster ;;
 	nightly) stage_nightly ;;
-	all) stage_fast; stage_chaos; stage_bench; stage_soak; stage_cluster ;;
+	all) stage_fast; stage_chaos; stage_bench; stage_soak; stage_serve; stage_cluster ;;
 	*)
-		echo "unknown stage: $stage (want fast|chaos|bench|soak|cluster|nightly|all)" >&2
+		echo "unknown stage: $stage (want fast|chaos|bench|soak|serve|cluster|nightly|all)" >&2
 		exit 1
 		;;
 	esac

@@ -124,6 +124,14 @@ type Config struct {
 	// small (or empty) shards. Committees with no transactions sit the
 	// epoch out.
 	PoolDriven bool
+	// Supply, when non-nil, feeds each epoch's fresh shard contents from
+	// an external source instead of the synthetic trace: after stages 1–3
+	// the fresh reports' TxCounts are zeroed and Supply.Fill distributes
+	// real ingested demand over them (deferred committees keep the shard
+	// they already packaged, as in PoolDriven mode). Epochs where Fill
+	// leaves every shard empty commit an empty block like a PoolDriven
+	// quiet window. Mutually exclusive with PoolDriven. Nil is off.
+	Supply ShardSupply
 	// EpochBudget, when positive, is the wall-clock SLO target for one
 	// epoch run: every phase gauge then also exports its share of the
 	// budget (mvcom_epoch_phase_budget_ratio{phase=...}), the surface a
@@ -179,7 +187,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.HashPowerDrift <= 0 {
 		return c, fmt.Errorf("%w: hash power drift %v must be positive", ErrBadConfig, c.HashPowerDrift)
 	}
+	if c.Supply != nil && c.PoolDriven {
+		return c, fmt.Errorf("%w: Supply and PoolDriven are mutually exclusive", ErrBadConfig)
+	}
 	return c, nil
+}
+
+// ShardSupply feeds epochs from an external transaction source (the
+// networked serving plane): Fill receives the epoch's fresh committee
+// reports with TxCount zeroed and distributes the ingested demand over
+// them — setting TxCount, and optionally overriding the two-phase
+// latency of committees whose reports arrived over the wire. Fill runs
+// on the epoch goroutine; implementations synchronize internally.
+type ShardSupply interface {
+	Fill(epoch int, reports []CommitteeReport)
 }
 
 // CommitteeReport is one member committee's epoch outcome: the two features
@@ -389,6 +410,14 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 	}
 	endConsensus("")
 	endCollect := p.startPhase(root, "collect")
+	if p.cfg.Supply != nil {
+		// External supply replaces the trace-derived shard sizes on the
+		// fresh reports; deferred entries (appended below) keep theirs.
+		for i := range reports {
+			reports[i].TxCount = 0
+		}
+		p.cfg.Supply.Fill(p.epoch, reports)
+	}
 	// Carried-over committees re-submit with their residual latency.
 	reports = append(reports, p.deferred...)
 	if p.srv != nil {
@@ -419,7 +448,7 @@ func (p *Pipeline) RunEpoch(sched Scheduler, alpha float64, capacity, nmin int) 
 		}
 	}
 	if len(res.Live) == 0 {
-		if p.cfg.PoolDriven {
+		if p.cfg.PoolDriven || p.cfg.Supply != nil {
 			// A quiet window: no transactions arrived, so the final
 			// committee appends an empty block and the epoch ends.
 			endCollect("quiet-window")

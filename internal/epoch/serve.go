@@ -36,6 +36,18 @@ type EpochStream interface {
 	Deliver(res *Result) error
 }
 
+// CtxStream is an EpochStream whose Next can block for real wall-clock
+// time — a networked stream waiting for traffic. Serve prefers
+// NextContext when the stream implements it, so cancellation reaches a
+// stream blocked between epochs instead of only being observed at the
+// loop top. NextContext must return promptly (any params, ok = false or
+// true) once ctx is done; Serve re-checks the context after it returns,
+// so a late false/true either way ends the loop with ctx.Err().
+type CtxStream interface {
+	EpochStream
+	NextContext(ctx context.Context, epoch int) (EpochParams, bool)
+}
+
 // FixedStream is the simplest EpochStream: N epochs with constant
 // parameters, each result forwarded to OnResult (which may be nil).
 // N <= 0 serves until the context is canceled or OnResult errors.
@@ -138,11 +150,24 @@ func (p *Pipeline) Serve(ctx context.Context, sched Scheduler, stream EpochStrea
 	}
 	p.srv = &serveState{permitted: make(map[int]bool)}
 	defer func() { p.srv = nil }()
+	cs, hasCtx := stream.(CtxStream)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		params, ok := stream.Next(p.epoch + 1)
+		var params EpochParams
+		var ok bool
+		if hasCtx {
+			params, ok = cs.NextContext(ctx, p.epoch+1)
+		} else {
+			params, ok = stream.Next(p.epoch + 1)
+		}
+		// Next may have blocked across a cancellation; surface ctx.Err()
+		// rather than running one more epoch (or masking the cancel as a
+		// clean stream end).
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !ok {
 			return nil
 		}
@@ -233,10 +258,21 @@ func (p *Pipeline) schedule(sched Scheduler, in core.Instance, res *Result) (cor
 
 // recordPermitted remembers which committee IDs this epoch's decision
 // selected, feeding the next epoch's warm start. Quiet epochs (no
-// decision) keep the previous set.
+// decision: an empty selection) keep the previous set — wiping it would
+// cold-start the scheduler on the first busy epoch after every lull.
 func (p *Pipeline) recordPermitted(res *Result) {
 	srv := p.srv
 	if srv == nil {
+		return
+	}
+	any := false
+	for li := range res.Live {
+		if li < len(res.Solution.Selected) && res.Solution.Selected[li] {
+			any = true
+			break
+		}
+	}
+	if !any {
 		return
 	}
 	for id := range srv.permitted {
@@ -247,5 +283,5 @@ func (p *Pipeline) recordPermitted(res *Result) {
 			srv.permitted[res.Reports[ri].Committee] = true
 		}
 	}
-	srv.havePrev = len(srv.permitted) > 0
+	srv.havePrev = true
 }

@@ -395,3 +395,176 @@ func (o *EpochObserver) phaseGauge(cache *sync.Map, base, help, phase string) *G
 	cache.Store(phase, g)
 	return g
 }
+
+// ServeObserver groups the instruments of the networked serving plane
+// (internal/ingest, cmd/mvcom-serve): admission accounting (every
+// request ends up accepted or shed, every transaction ends up committed,
+// expired, queued, or shed), batch/queue depth, and ingest trace events.
+// A nil *ServeObserver is fully inert.
+type ServeObserver struct {
+	reg *Registry
+
+	// Requests counts ingest requests received on any front end (HTTP or
+	// framed TCP), before admission.
+	Requests *Counter
+	// Accepted counts requests admitted into the ingest queue.
+	Accepted *Counter
+	// AcceptedTxs counts transactions admitted into the ingest queue.
+	AcceptedTxs *Counter
+	// Reports counts admitted shard-report submissions; ReportTxs their
+	// declared transaction counts.
+	Reports   *Counter
+	ReportTxs *Counter
+	// CommittedTxs counts admitted transactions that reached a final
+	// block; ExpiredTxs those dropped by the MaxDeferrals backlog bound.
+	CommittedTxs *Counter
+	ExpiredTxs   *Counter
+	// Batches counts epoch batches flushed from the queue; BatchTxs
+	// observes their sizes; Drains counts graceful drain flushes.
+	Batches  *Counter
+	BatchTxs *Histogram
+	Drains   *Counter
+	// QueueTxs gauges the current ingest-queue depth in transactions;
+	// OutstandingTxs gauges admitted-but-not-yet-final transactions
+	// (deferred backlog carried across epochs).
+	QueueTxs       *Gauge
+	OutstandingTxs *Gauge
+	// Trace receives EvIngest events plus the serving plane's span
+	// begin/end pairs.
+	Trace *Tracer
+
+	shed, shedTxs sync.Map // shed reason -> *Counter
+}
+
+// NewServeObserver registers the serving-plane instruments on reg;
+// returns nil (inert) when reg is nil.
+func NewServeObserver(reg *Registry) *ServeObserver {
+	if reg == nil {
+		return nil
+	}
+	return &ServeObserver{
+		reg:            reg,
+		Requests:       reg.Counter("mvcom_serve_requests_total", "ingest requests received before admission"),
+		Accepted:       reg.Counter("mvcom_serve_accepted_total", "requests admitted into the ingest queue"),
+		AcceptedTxs:    reg.Counter("mvcom_serve_accepted_txs_total", "transactions admitted into the ingest queue"),
+		Reports:        reg.Counter("mvcom_serve_reports_total", "shard-report submissions admitted"),
+		ReportTxs:      reg.Counter("mvcom_serve_report_txs_total", "transactions declared by admitted shard reports"),
+		CommittedTxs:   reg.Counter("mvcom_serve_committed_txs_total", "admitted transactions that reached a final block"),
+		ExpiredTxs:     reg.Counter("mvcom_serve_expired_txs_total", "admitted transactions dropped by the deferral bound"),
+		Batches:        reg.Counter("mvcom_serve_batches_total", "epoch batches flushed from the ingest queue"),
+		BatchTxs:       reg.Histogram("mvcom_serve_batch_txs", "transactions per flushed epoch batch", ExponentialBuckets(1, 2, 16)),
+		Drains:         reg.Counter("mvcom_serve_drains_total", "graceful drain flushes"),
+		QueueTxs:       reg.Gauge("mvcom_serve_queue_txs", "current ingest-queue depth in transactions"),
+		OutstandingTxs: reg.Gauge("mvcom_serve_outstanding_txs", "admitted transactions not yet final (deferred backlog)"),
+		Trace:          reg.Tracer(),
+	}
+}
+
+// TraceCtx returns the registry's span allocator so ingest call sites can
+// open causal spans; nil observer returns the inert nil allocator.
+func (o *ServeObserver) TraceCtx() *TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.reg.TraceContext()
+}
+
+// RequestSeen counts one pre-admission ingest request. No-op on nil.
+func (o *ServeObserver) RequestSeen() {
+	if o == nil {
+		return
+	}
+	o.Requests.Inc()
+}
+
+// RequestAccepted counts one admitted request carrying txs transactions
+// (0 for a shard report). No-op on nil.
+func (o *ServeObserver) RequestAccepted(txs int) {
+	if o == nil {
+		return
+	}
+	o.Accepted.Inc()
+	if txs > 0 {
+		o.AcceptedTxs.Add(int64(txs))
+	}
+}
+
+// ReportAccepted counts one admitted shard report declaring txs
+// transactions. No-op on nil.
+func (o *ServeObserver) ReportAccepted(txs int) {
+	if o == nil {
+		return
+	}
+	o.Reports.Inc()
+	if txs > 0 {
+		o.ReportTxs.Add(int64(txs))
+	}
+}
+
+// RequestShed counts one shed request and the transactions it carried,
+// labeled by reason ("rate", "queue", "body", "drain", "invalid").
+// No-op on nil.
+func (o *ServeObserver) RequestShed(reason string, txs int) {
+	if o == nil {
+		return
+	}
+	o.shedCounter(&o.shed, "mvcom_serve_shed_total", "requests shed by admission control, by reason", reason).Inc()
+	if txs > 0 {
+		o.shedCounter(&o.shedTxs, "mvcom_serve_shed_txs_total", "transactions shed by admission control, by reason", reason).Add(int64(txs))
+	}
+	o.Trace.Emit(EvIngest, "ingest", float64(txs), "shed:"+reason)
+}
+
+// BatchFlushed records one epoch batch leaving the queue. No-op on nil.
+func (o *ServeObserver) BatchFlushed(txs int) {
+	if o == nil {
+		return
+	}
+	o.Batches.Inc()
+	o.BatchTxs.Observe(float64(txs))
+	o.Trace.Emit(EvIngest, "ingest", float64(txs), "batch")
+}
+
+// DrainFlushed records the graceful-drain final flush. No-op on nil.
+func (o *ServeObserver) DrainFlushed(txs int) {
+	if o == nil {
+		return
+	}
+	o.Drains.Inc()
+	o.Trace.Emit(EvIngest, "ingest", float64(txs), "drain")
+}
+
+// Delivered records one epoch's settlement accounting: transactions that
+// reached a final block, transactions expired by the deferral bound, and
+// the outstanding (still-deferred) backlog after the epoch. No-op on nil.
+func (o *ServeObserver) Delivered(committed, expired, outstanding int) {
+	if o == nil {
+		return
+	}
+	if committed > 0 {
+		o.CommittedTxs.Add(int64(committed))
+	}
+	if expired > 0 {
+		o.ExpiredTxs.Add(int64(expired))
+	}
+	o.OutstandingTxs.Set(float64(outstanding))
+}
+
+// SetQueueTxs records the current queue depth in transactions. No-op on
+// nil.
+func (o *ServeObserver) SetQueueTxs(n int) {
+	if o == nil {
+		return
+	}
+	o.QueueTxs.Set(float64(n))
+}
+
+// shedCounter caches per-reason labeled counters, mirroring msgCounter.
+func (o *ServeObserver) shedCounter(cache *sync.Map, base, help, reason string) *Counter {
+	if c, ok := cache.Load(reason); ok {
+		return c.(*Counter)
+	}
+	c := o.reg.Counter(base+"{reason=\""+reason+"\"}", help)
+	cache.Store(reason, c)
+	return c
+}

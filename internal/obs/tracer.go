@@ -68,9 +68,13 @@ const (
 	// epoch root span's trace so a timeline node joins to its audit
 	// entry — see internal/decisionlog and tracemerge.JoinDecisions).
 	EvDecision
+	// EvIngest marks a serving-plane ingest action: a batch flushed into
+	// an epoch, a graceful drain, or admission shedding (Actor =
+	// "ingest", Value = transactions involved, Detail = kind).
+	EvIngest
 
 	// evLast is the highest defined event type (JSON name lookup bound).
-	evLast = EvDecision
+	evLast = EvIngest
 )
 
 // String names the event type for exposition.
@@ -112,6 +116,8 @@ func (t EventType) String() string {
 		return "clock_sync"
 	case EvDecision:
 		return "decision"
+	case EvIngest:
+		return "ingest"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,92 @@
+package txpool
+
+import (
+	"sync"
+	"time"
+
+	"mvcom/internal/chain"
+)
+
+// SyncPool wraps Pool with a mutex so the networked serving plane can
+// deliver transactions from many goroutines while the epoch loop drains
+// concurrently. Pool itself stays single-goroutine (the discrete-event
+// simulation never needs the lock); the serving plane always goes
+// through this wrapper.
+type SyncPool struct {
+	mu   sync.Mutex
+	pool Pool
+}
+
+// NewSync returns an empty synchronized pool.
+func NewSync() *SyncPool { return &SyncPool{} }
+
+// Len returns the number of waiting transactions.
+func (p *SyncPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Len()
+}
+
+// Added returns how many transactions ever entered the pool.
+func (p *SyncPool) Added() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Added()
+}
+
+// Drained returns how many transactions have been drained.
+func (p *SyncPool) Drained() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Drained()
+}
+
+// Add inserts one transaction.
+func (p *SyncPool) Add(tx chain.Transaction) {
+	p.mu.Lock()
+	p.pool.Add(tx)
+	p.mu.Unlock()
+}
+
+// AddBatch inserts many transactions.
+func (p *SyncPool) AddBatch(txs []chain.Transaction) {
+	p.mu.Lock()
+	p.pool.AddBatch(txs)
+	p.mu.Unlock()
+}
+
+// TryAddBatch inserts txs only if the resulting pool length would stay
+// at or below maxLen (maxLen <= 0 means unbounded). The check and the
+// insert are one atomic step — the admission high-watermark the serving
+// plane sheds on. Returns false, inserting nothing, when over the mark.
+func (p *SyncPool) TryAddBatch(txs []chain.Transaction, maxLen int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if maxLen > 0 && p.pool.Len()+len(txs) > maxLen {
+		return false
+	}
+	p.pool.AddBatch(txs)
+	return true
+}
+
+// Oldest returns the arrival time of the oldest waiting transaction.
+func (p *SyncPool) Oldest() (time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.Oldest()
+}
+
+// DrainArrivedInto drains arrived transactions into the caller-owned dst,
+// mirroring Pool.DrainArrivedInto.
+func (p *SyncPool) DrainArrivedInto(dst []chain.Transaction, now time.Duration, max int) []chain.Transaction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pool.DrainArrivedInto(dst, now, max)
+}
+
+// Reset empties the pool and its counters, keeping backing capacity.
+func (p *SyncPool) Reset() {
+	p.mu.Lock()
+	p.pool.Reset()
+	p.mu.Unlock()
+}

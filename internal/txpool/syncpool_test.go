@@ -1,0 +1,96 @@
+package txpool
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mvcom/internal/chain"
+)
+
+// TestSyncPoolConcurrentAddDrain is the -race regression test for the
+// serving plane's concurrency contract: Pool is documented
+// single-goroutine, so networked ingest must go through SyncPool. Many
+// producers Add while a consumer drains epoch-style; under -race the
+// unwrapped Pool fails this immediately.
+func TestSyncPoolConcurrentAddDrain(t *testing.T) {
+	p := NewSync()
+	const producers = 8
+	const perProducer = 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				p.Add(chain.Transaction{
+					ID:      uint64(g*perProducer + i),
+					Created: time.Duration(i) * time.Millisecond,
+				})
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	drained := 0
+	go func() {
+		defer close(done)
+		buf := make([]chain.Transaction, 0, 256)
+		for drained < producers*perProducer {
+			buf = p.DrainArrivedInto(buf[:0], 1<<62, 0)
+			drained += len(buf)
+		}
+	}()
+
+	wg.Wait()
+	<-done
+
+	if drained != producers*perProducer {
+		t.Fatalf("drained %d, want %d", drained, producers*perProducer)
+	}
+	if got := p.Added(); got != producers*perProducer {
+		t.Fatalf("Added() = %d, want %d", got, producers*perProducer)
+	}
+	if got := p.Len(); got != 0 {
+		t.Fatalf("Len() = %d after full drain, want 0", got)
+	}
+}
+
+// TestSyncPoolTryAddBatchWatermark pins the atomic high-watermark check:
+// a batch that would push the pool over maxLen is rejected whole, and
+// concurrent racers never overshoot the mark.
+func TestSyncPoolTryAddBatchWatermark(t *testing.T) {
+	p := NewSync()
+	batch := make([]chain.Transaction, 10)
+	const maxLen = 55 // room for 5 full batches, rejects the 6th
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p.TryAddBatch(batch, maxLen)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := p.Len(); got > maxLen {
+		t.Fatalf("Len() = %d exceeds watermark %d", got, maxLen)
+	}
+	if got := p.Len(); got != 50 {
+		t.Fatalf("Len() = %d, want 50 (5 accepted batches)", got)
+	}
+
+	if p.TryAddBatch(batch, maxLen) {
+		t.Fatal("TryAddBatch over the watermark returned true")
+	}
+	if !p.TryAddBatch(batch[:5], maxLen) {
+		t.Fatal("TryAddBatch exactly at the watermark returned false")
+	}
+	if p.TryAddBatch(batch[:1], 0); p.Len() != maxLen+1 {
+		t.Fatalf("maxLen<=0 should be unbounded; Len() = %d", p.Len())
+	}
+}

@@ -122,6 +122,8 @@ func TestMetricsRuntimeNamesDocumented(t *testing.T) {
 	do := obs.NewDistObserver(reg, "coordinator")
 	do.MsgSent("progress")
 	do.MsgRecv("result")
+	so := obs.NewServeObserver(reg)
+	so.RequestShed("rate", 10) // registers both labeled shed counters
 	j, err := decisionlog.Open(decisionlog.Options{Dir: t.TempDir(), Registry: reg})
 	if err != nil {
 		t.Fatal(err)
